@@ -1,0 +1,86 @@
+"""Quickstart: a primary + standby pair with DBIM-on-ADG.
+
+Builds the smallest end-to-end deployment:
+
+1. create a table on the primary (the standby materialises it from redo),
+2. load and mutate data through transactions,
+3. enable the table for in-memory population on BOTH databases,
+4. watch the standby serve a consistent, columnar-accelerated scan at its
+   published QuerySCN -- including a row updated after population, which
+   the DBIM-on-ADG invalidation pipeline reconciles from the row store.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.db import ColumnDef, Deployment, InMemoryService, TableDef
+from repro.db.sql import parse_query
+from repro.imcs import Predicate
+
+
+def main() -> None:
+    deployment = Deployment.build()
+    primary, standby = deployment.primary, deployment.standby
+
+    print("== creating table ORDERS on the primary ==")
+    deployment.create_table(
+        TableDef(
+            "ORDERS",
+            (
+                ColumnDef.number("order_id", nullable=False),
+                ColumnDef.number("amount"),
+                ColumnDef.varchar("status"),
+            ),
+            indexes=("order_id",),
+        )
+    )
+
+    print("== loading 1000 orders ==")
+    txn = primary.begin()
+    rowids = []
+    for i in range(1000):
+        status = ["NEW", "SHIPPED", "BILLED"][i % 3]
+        rowids.append(
+            primary.insert(txn, "ORDERS", (i, float(i % 500), status))
+        )
+    primary.commit(txn)
+
+    print("== enabling in-memory on primary AND standby ==")
+    deployment.enable_inmemory("ORDERS", service=InMemoryService.BOTH)
+    deployment.catch_up()
+    print(f"   standby QuerySCN: {standby.query_scn.value}")
+    print(f"   standby IMCS rows populated: {standby.imcs.populated_rows}")
+
+    print("== querying the standby through the SQL layer ==")
+    query = parse_query("SELECT COUNT(*) FROM ORDERS WHERE status = :1")
+    (count,) = query.run(standby, {1: "SHIPPED"})
+    print(f"   SHIPPED orders on the standby: {count}")
+
+    print("== updating an order on the primary ==")
+    txn = primary.begin()
+    primary.update(txn, "ORDERS", rowids[0], {"status": "CANCELLED"})
+    commit_scn = primary.commit(txn)
+    print(f"   committed at SCN {commit_scn}")
+    deployment.catch_up()
+
+    result = standby.query("ORDERS", [Predicate.eq("status", "CANCELLED")])
+    print(
+        f"   standby sees {len(result.rows)} cancelled order(s) "
+        f"(IMCUs used: {result.stats.imcus_used}, "
+        f"row-store reconciled rows: {result.stats.fallback_rows})"
+    )
+    assert len(result.rows) == 1
+
+    print("== verifying standby == primary at the same snapshot ==")
+    snapshot = standby.query_scn.value
+    table = primary.catalog.table("ORDERS")
+    primary_rows = sorted(
+        values for __, values in table.full_scan(snapshot, primary.txn_table)
+    )
+    standby_rows = sorted(standby.query("ORDERS").rows)
+    assert primary_rows == standby_rows
+    print(f"   identical: {len(standby_rows)} rows at SCN {snapshot}")
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""The QuerySCN: the standby's published consistency point.
+
+"A recovery coordinator process tracks the progress of all the recovery
+worker processes and establishes a consistency point up to which all
+workers have completed redo apply.  This consistency point is exposed as
+the 'QuerySCN' on ADG" (paper, II-A).  Because workers apply at different
+rates the published values typically *leapfrog* rather than forming a
+dense SCN sequence -- the history list lets tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import InvalidStateError
+from repro.common.scn import NULL_SCN, SCN
+
+
+class QuerySCNPublisher:
+    """Holds the current QuerySCN and notifies listeners on advancement."""
+
+    def __init__(self, initial: SCN = NULL_SCN) -> None:
+        self._value: SCN = initial
+        #: (simulated time, value) pairs, for lag plots (Fig. 11).
+        self.history: list[tuple[float, SCN]] = []
+        self._listeners: list[Callable[[SCN], None]] = []
+
+    @property
+    def value(self) -> SCN:
+        return self._value
+
+    def subscribe(self, listener: Callable[[SCN], None]) -> None:
+        """Register a callback fired after each publication (e.g. the
+        local recovery coordinator of a non-master RAC instance)."""
+        self._listeners.append(listener)
+
+    def publish(self, scn: SCN, at_time: float = 0.0) -> None:
+        if scn < self._value:
+            raise InvalidStateError(
+                f"QuerySCN cannot move backwards: {scn} < {self._value}"
+            )
+        if scn == self._value:
+            return
+        self._value = scn
+        self.history.append((at_time, scn))
+        for listener in self._listeners:
+            listener(scn)
+
+    def __repr__(self) -> str:
+        return f"QuerySCNPublisher(value={self._value})"

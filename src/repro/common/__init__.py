@@ -1,0 +1,62 @@
+"""Shared primitives: identifiers, SCNs, latches, errors, configuration.
+
+Everything in this package is dependency-free (standard library only) and is
+used by every other subpackage.  The vocabulary follows the paper's (and
+Oracle's) terminology: SCN, DBA, transaction id, tenant id.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    LatchBusyError,
+    SnapshotTooOldError,
+    ObjectNotFoundError,
+    NotInMemoryError,
+    InvalidStateError,
+)
+from repro.common.ids import (
+    DBA,
+    RowId,
+    ObjectId,
+    TenantId,
+    TransactionId,
+    InstanceId,
+    WorkerId,
+)
+from repro.common.scn import SCN, NULL_SCN, SCNClock
+from repro.common.latch import Latch, BucketLatchSet, QuiesceLock
+from repro.common.config import (
+    RowStoreConfig,
+    IMCSConfig,
+    ApplyConfig,
+    JournalConfig,
+    RACConfig,
+    SystemConfig,
+)
+
+__all__ = [
+    "ReproError",
+    "LatchBusyError",
+    "SnapshotTooOldError",
+    "ObjectNotFoundError",
+    "NotInMemoryError",
+    "InvalidStateError",
+    "DBA",
+    "RowId",
+    "ObjectId",
+    "TenantId",
+    "TransactionId",
+    "InstanceId",
+    "WorkerId",
+    "SCN",
+    "NULL_SCN",
+    "SCNClock",
+    "Latch",
+    "BucketLatchSet",
+    "QuiesceLock",
+    "RowStoreConfig",
+    "IMCSConfig",
+    "ApplyConfig",
+    "JournalConfig",
+    "RACConfig",
+    "SystemConfig",
+]

@@ -1,0 +1,115 @@
+"""Configuration knobs for every subsystem, gathered in one place.
+
+Defaults are chosen so that unit tests run in milliseconds while the
+benchmark harness can scale the same code up to the paper's workload shape
+(a 101-column wide table, 70/25/1 DML mixes, multi-instance RAC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class RowStoreConfig:
+    """Row store geometry."""
+
+    # Rows that fit in one data block.  The paper's table has 101 columns on
+    # 8 KiB blocks (~50-60 rows/block); we default a bit higher so small
+    # tests use few blocks.
+    rows_per_block: int = 64
+    # Undo retention: how many superseded row versions each slot keeps.
+    # Older versions are pruned; a consistent read that needs one raises
+    # SnapshotTooOldError (ORA-01555 analogue).
+    undo_retention_versions: int = 1024
+
+
+@dataclass(slots=True)
+class IMCSConfig:
+    """In-Memory Column Store parameters."""
+
+    # Target rows per IMCU.  Oracle packs a few hundred thousand rows per
+    # IMCU; scaled down with everything else.
+    imcu_target_rows: int = 4096
+    # In-memory pool budget in "bytes" of our cost model; None = unlimited.
+    pool_size_bytes: int | None = None
+    # Repopulation triggers when this fraction of an IMCU's rows is invalid.
+    repopulate_invalid_fraction: float = 0.25
+    # Number of background population worker actors.
+    population_workers: int = 2
+    # Minimum simulated seconds between repopulations of the same IMCU
+    # (the paper: "a set of heuristics are used to ... tune the
+    # repopulation frequency").
+    repopulate_min_interval: float = 0.5
+    # Simulated CPU seconds to populate one row into an IMCU.  Raising it
+    # models population pressure: how fast inserts outrun the background
+    # (re)population that folds edge rows back into the columnar format.
+    populate_cost_per_row: float = 2e-6
+
+
+@dataclass(slots=True)
+class ApplyConfig:
+    """Parallel redo apply (media recovery) parameters."""
+
+    # Number of recovery worker processes.
+    n_workers: int = 4
+    # Change vectors a worker applies per scheduler step (its batch size).
+    worker_batch: int = 64
+    # Simulated seconds between recovery-coordinator progress checks.
+    coordinator_interval: float = 0.01
+    # Worklink nodes a recovery worker flushes per step during cooperative
+    # flush, before returning to redo apply.
+    cooperative_flush_batch: int = 8
+    # Worklink nodes the recovery coordinator itself flushes per step.
+    coordinator_flush_batch: int = 32
+    # Simulated CPU seconds to apply one change vector.  Raising it models
+    # apply pressure (how fast recovery keeps up with redo generation) --
+    # the lever behind the MIRA scale-out benchmark.
+    apply_cost_per_cv: float = 1e-6
+    # Whether recovery workers participate in invalidation flush at all
+    # (ablation: coordinator-only flush).
+    cooperative_flush: bool = True
+
+
+@dataclass(slots=True)
+class JournalConfig:
+    """IM-ADG Journal and Commit Table parameters."""
+
+    # Hash buckets in the journal.  The paper sizes this from the apply
+    # parallelism; scale factor applied in the standby wiring.
+    n_buckets: int = 64
+    # Number of sorted partitions of the IM-ADG Commit Table (paper,
+    # III-D-1: partitioning removes the single-list insertion bottleneck).
+    commit_table_partitions: int = 4
+    # If True the primary annotates commit records with the "modified an
+    # IMCS-enabled object" flag (paper, III-E: specialized redo generation).
+    specialized_commit_redo: bool = True
+
+
+@dataclass(slots=True)
+class RACConfig:
+    """Cluster shape and interconnect behaviour."""
+
+    primary_instances: int = 1
+    standby_instances: int = 1
+    # Simulated one-way interconnect latency in seconds.
+    interconnect_latency: float = 0.0005
+    # Invalidation groups per interconnect message (paper, III-F: batching
+    # and pipelined transmission reduce the network's impact on QuerySCN
+    # advancement).
+    invalidation_batch_size: int = 32
+
+
+@dataclass(slots=True)
+class SystemConfig:
+    """Top-level configuration for a primary/standby deployment."""
+
+    rowstore: RowStoreConfig = field(default_factory=RowStoreConfig)
+    imcs: IMCSConfig = field(default_factory=IMCSConfig)
+    apply: ApplyConfig = field(default_factory=ApplyConfig)
+    journal: JournalConfig = field(default_factory=JournalConfig)
+    rac: RACConfig = field(default_factory=RACConfig)
+    # Simulated one-way redo shipping latency (primary -> standby), seconds.
+    ship_latency: float = 0.002
+    # Random seed for every stochastic choice in the simulation.
+    seed: int = 20200420

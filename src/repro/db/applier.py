@@ -1,0 +1,92 @@
+"""Physical application of change vectors to a standby's structures.
+
+Extracted from :class:`~repro.db.standby.StandbyDatabase` so that both
+single-instance redo apply (SIRA) and multi-instance redo apply (MIRA,
+:mod:`repro.rac.mira`) share one implementation: MIRA's apply instances
+mount the same database (shared catalog, block store and recovered
+transaction table) and each applies its owned subset of CVs through an
+instance of this class.
+"""
+
+from __future__ import annotations
+
+from repro.adg.apply import ApplyStall
+from repro.common.errors import ObjectNotFoundError
+from repro.common.scn import SCN
+from repro.redo.records import (
+    CVOp,
+    ChangeVector,
+    DDLMarkerPayload,
+    DeletePayload,
+    InsertPayload,
+    UndoPayload,
+    UpdatePayload,
+)
+from repro.txn.table import TransactionTable
+from repro.db.catalog import Catalog
+
+
+class PhysicalApplier:
+    """Replays change vectors against a catalog + transaction table."""
+
+    def __init__(self, catalog: Catalog, txn_table: TransactionTable) -> None:
+        self.catalog = catalog
+        self.txn_table = txn_table
+
+    def apply_cv(self, cv: ChangeVector, scn: SCN) -> None:
+        op = cv.op
+        if op is CVOp.HEARTBEAT:
+            return
+        if op is CVOp.TXN_BEGIN:
+            self.txn_table.ensure_known(cv.xid)
+            return
+        if op is CVOp.TXN_PREPARE:
+            self.txn_table.ensure_known(cv.xid)
+            self.txn_table.prepare(cv.xid)
+            return
+        if op is CVOp.TXN_COMMIT:
+            self.txn_table.commit(cv.xid, cv.payload.commit_scn)
+            return
+        if op is CVOp.TXN_ABORT:
+            self.txn_table.abort(cv.xid)
+            return
+        if op is CVOp.DDL_MARKER:
+            payload: DDLMarkerPayload = cv.payload
+            if payload.kind == "create_table":
+                # Dictionary changes must exist before the table's data CVs
+                # (queued on other workers) can apply; everything else about
+                # the marker is processed at QuerySCN advancement.
+                if payload.table_name not in self.catalog:
+                    self.catalog.create_table(payload.detail["table_def"])
+            return
+        # data CVs
+        try:
+            table = self.catalog.table_for_object(cv.object_id)
+        except ObjectNotFoundError:
+            # The create-table marker is still queued on another worker.
+            raise ApplyStall(f"object {cv.object_id} not in dictionary yet")
+        if op is CVOp.INSERT:
+            payload_i: InsertPayload = cv.payload
+            table.apply_insert(
+                cv.object_id, cv.dba, payload_i.slot, payload_i.values,
+                cv.xid, scn,
+            )
+        elif op is CVOp.UPDATE:
+            payload_u: UpdatePayload = cv.payload
+            table.apply_update(
+                cv.object_id, cv.dba, payload_u.slot, payload_u.new_values,
+                payload_u.changed_columns, cv.xid, scn,
+            )
+        elif op is CVOp.DELETE:
+            payload_d: DeletePayload = cv.payload
+            table.apply_delete(
+                cv.object_id, cv.dba, payload_d.slot, payload_d.old_values,
+                cv.xid, scn,
+            )
+        elif op is CVOp.UNDO:
+            payload_un: UndoPayload = cv.payload
+            table.apply_undo(cv.object_id, cv.dba, payload_un.slot, cv.xid, scn)
+        elif op is CVOp.TRUNCATE:
+            table.apply_truncate(cv.payload.object_id, scn)
+        else:
+            raise ValueError(f"unhandled CV op {op}")

@@ -1,0 +1,197 @@
+"""Deployment: a primary cluster + physical standby, wired and scheduled.
+
+This is the top of the public API:
+
+    from repro.db import Deployment, TableDef, ColumnDef, InMemoryService
+
+    deployment = Deployment.build()
+    deployment.create_table(TableDef("T", (ColumnDef.number("id"), ...)))
+    deployment.enable_inmemory("T", service=InMemoryService.STANDBY)
+    ...DML on deployment.primary...
+    deployment.catch_up()
+    result = deployment.standby.query("T", [Predicate.eq("n1", 5)])
+
+The in-memory *service* decides where partitions populate (paper, Fig. 2):
+``PRIMARY`` / ``STANDBY`` / ``BOTH``.  Whatever the choice, the primary is
+told about standby enablement so its commit records carry the section
+III-E flag.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.common.config import SystemConfig
+from repro.redo.shipping import LogShipper
+from repro.sim.scheduler import Scheduler
+from repro.db.primary import PrimaryDatabase
+from repro.db.schema_def import TableDef
+from repro.db.standby import StandbyDatabase
+from repro.rowstore.table import Table
+
+
+class InMemoryService(enum.Enum):
+    """Which databases populate an object into their IMCS."""
+
+    PRIMARY = "primary"
+    STANDBY = "standby"
+    BOTH = "both"
+
+
+class Deployment:
+    """A primary + standby pair sharing one deterministic scheduler."""
+
+    def __init__(
+        self,
+        primary: PrimaryDatabase,
+        standby: StandbyDatabase,
+        sched: Scheduler,
+        config: SystemConfig,
+    ) -> None:
+        self.primary = primary
+        self.standby = standby
+        self.sched = sched
+        self.config = config
+        #: Optional SIRA standby RAC (see add_standby_cluster).
+        self.standby_cluster = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        config: Optional[SystemConfig] = None,
+        dbim_on_adg: bool = True,
+        heartbeats: bool = True,
+    ) -> "Deployment":
+        """Construct and wire a fresh deployment."""
+        config = config or SystemConfig()
+        sched = Scheduler(seed=config.seed, jitter=0.05)
+        primary = PrimaryDatabase(config)
+        standby = StandbyDatabase(config, dbim_enabled=dbim_on_adg)
+
+        def fal_fetch(thread, lo, hi):
+            # Fetch Archive Log: the standby pulls an archive gap straight
+            # from the primary's (never-recycled) log files.
+            log = primary.redo_logs[thread - 1]
+            return [log.record_at(i) for i in range(lo, hi)]
+
+        standby.receiver.fal_fetch = fal_fetch
+        for log in primary.redo_logs:
+            sched.add_actor(
+                LogShipper(
+                    log,
+                    standby.receiver,
+                    latency=config.ship_latency,
+                    node=primary.instances[log.thread - 1].node,
+                )
+            )
+        primary.attach_actors(sched, heartbeats=heartbeats)
+        standby.attach_actors(sched)
+        # undo retention: bound version-chain growth on both databases
+        from repro.rowstore.undo_retention import UndoRetentionManager
+
+        keep = config.rowstore.undo_retention_versions
+        sched.add_actor(UndoRetentionManager(
+            primary.block_store, keep, name="primary-undo-retention",
+            node=primary.instances[0].node,
+        ))
+        sched.add_actor(UndoRetentionManager(
+            standby.block_store, keep, name="standby-undo-retention",
+            node=standby.node,
+        ))
+        return cls(primary, standby, sched, config)
+
+    def add_standby_cluster(self, n_instances: int = 2):
+        """Scale the standby out to a SIRA RAC (paper, III-F).
+
+        The existing standby becomes the apply master; ``n_instances - 1``
+        satellites host remotely-homed IMCUs and local coordinators.
+        Call before enabling objects in-memory on the standby.
+        """
+        from repro.rac.cluster import StandbyCluster
+
+        self.standby_cluster = StandbyCluster(
+            self.standby, self.sched, n_instances=n_instances,
+            config=self.config,
+        )
+        self.standby_cluster.attach_actors(self.sched)
+        return self.standby_cluster
+
+    # ------------------------------------------------------------------
+    # schema + in-memory management
+    # ------------------------------------------------------------------
+    def create_table(self, table_def: TableDef) -> Table:
+        """Create on the primary; the standby materialises it from the
+        create-table redo marker."""
+        return self.primary.create_table(table_def)
+
+    def enable_inmemory(
+        self,
+        table_name: str,
+        service: InMemoryService = InMemoryService.BOTH,
+        partition: Optional[str] = None,
+        columns: Optional[list[str]] = None,
+    ) -> None:
+        if service in (InMemoryService.PRIMARY, InMemoryService.BOTH):
+            self.primary.enable_inmemory(table_name, partition, columns)
+        if service in (InMemoryService.STANDBY, InMemoryService.BOTH):
+            # the standby's dictionary learns about new tables via redo:
+            # make sure the marker has been applied first
+            self.run_until_standby_has(table_name)
+            if self.standby_cluster is not None:
+                object_ids = self.standby_cluster.enable_inmemory(
+                    table_name, partition, columns
+                )
+            else:
+                object_ids = self.standby.enable_inmemory(
+                    table_name, partition, columns
+                )
+            self.primary.note_standby_enablement(object_ids)
+
+    # ------------------------------------------------------------------
+    # simulation control
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> None:
+        self.sched.run_for(duration)
+
+    def run_until_standby_has(self, table_name: str, timeout: float = 60.0) -> None:
+        ok = self.sched.run_until_condition(
+            lambda: table_name in self.standby.catalog, max_time=timeout
+        )
+        if not ok:
+            raise TimeoutError(
+                f"standby never received table {table_name!r}"
+            )
+
+    def catch_up(self, timeout: float = 600.0) -> None:
+        """Run until the standby's QuerySCN covers all primary redo
+        generated so far and population backlogs are drained."""
+        target = self.primary.clock.current
+
+        def caught_up() -> bool:
+            if self.standby.query_scn.value < target:
+                return False
+            if not self.primary.population.fully_populated():
+                return False
+            if self.standby_cluster is not None:
+                return self.standby_cluster.fully_populated() and all(
+                    s.query_scn.value >= target
+                    for s in self.standby_cluster.satellites
+                )
+            return self.standby.population.fully_populated()
+
+        if not self.sched.run_until_condition(caught_up, max_time=timeout):
+            raise TimeoutError(
+                f"standby lagging: QuerySCN {self.standby.query_scn.value} "
+                f"< {target} after {timeout}s"
+            )
+
+    # ------------------------------------------------------------------
+    # lag metric (Fig. 11)
+    # ------------------------------------------------------------------
+    @property
+    def redo_lag_scns(self) -> int:
+        """How far the published QuerySCN trails primary redo generation."""
+        newest = max(log.last_scn for log in self.primary.redo_logs)
+        return max(0, newest - self.standby.query_scn.value)

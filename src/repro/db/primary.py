@@ -1,0 +1,402 @@
+"""The primary database cluster.
+
+One :class:`PrimaryDatabase` models the whole primary cluster (one SCN
+clock, one transaction table, one block store); each
+:class:`PrimaryInstance` is a RAC node with its own redo thread, transaction
+manager, heartbeat writer and CPU node.
+
+The primary also runs its own DBIM: objects enabled with a primary-facing
+service get populated into the local In-Memory Column Store, and the
+transaction manager's commit hook invalidates SMU rows synchronously --
+the classic dual-format maintenance of [Lahiri et al., ICDE'15] that the
+paper's standby-side protocol replaces.
+
+DDL support (the subset the paper's section III-G exercises):
+
+* ``CREATE TABLE`` / ``CREATE INDEX``-at-creation -- marker only;
+* ``TRUNCATE`` -- block wipe CV per partition plus a marker;
+* ``DROP COLUMN`` -- dictionary-only change plus a marker;
+* ``DROP TABLE`` and ``ALTER ... NO INMEMORY`` -- marker only.
+
+Every DDL ships a redo marker so the standby's mining component can keep
+its IMCS and catalog in sync (markers are "similar to redo records but are
+used to indicate changes to non-persistent objects").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import SystemConfig
+from repro.common.ids import InstanceId, ObjectId, RowId, TenantId, TransactionId
+from repro.common.scn import SCN, SCNClock
+from repro.imcs.population import PopulationEngine, PopulationWorker
+from repro.imcs.scan import Predicate, ScanEngine, ScanResult
+from repro.imcs.store import InMemoryColumnStore
+from repro.redo.log import RedoLog
+from repro.redo.records import (
+    CVOp,
+    ChangeVector,
+    DDLMarkerPayload,
+    RedoRecord,
+    TruncatePayload,
+    ddl_marker_dba,
+    truncate_dba,
+    txn_table_dba,
+)
+from repro.rowstore.buffer_cache import BufferCache
+from repro.rowstore.segment import BlockStore
+from repro.rowstore.table import Table
+from repro.sim.cpu import CpuNode
+from repro.sim.scheduler import Actor, Scheduler
+from repro.txn.manager import Transaction, TransactionManager
+from repro.txn.table import TransactionTable
+from repro.db.catalog import Catalog
+from repro.db.features import InMemoryFeaturesMixin
+from repro.db.schema_def import TableDef
+
+
+class HeartbeatWriter(Actor):
+    """Writes periodic heartbeat redo on an instance.
+
+    Keeps the standby's merge watermark moving when this instance is idle
+    (see :mod:`repro.adg.merger`).
+    """
+
+    def __init__(
+        self,
+        instance: InstanceId,
+        clock: SCNClock,
+        log: RedoLog,
+        interval: float = 0.005,
+        node: Optional[CpuNode] = None,
+    ) -> None:
+        self.instance = instance
+        self.clock = clock
+        self.log = log
+        self.interval = interval
+        self.node = node
+        self.name = f"heartbeat-{instance}"
+        self.idle_backoff = interval
+
+        self._last_write = -1.0
+
+    def step(self, sched: Scheduler) -> Optional[float]:
+        if sched.now - self._last_write < self.interval:
+            return None  # not due yet; idle_backoff paces the retries
+        self._last_write = sched.now
+        scn = self.clock.next()
+        cv = ChangeVector(
+            CVOp.HEARTBEAT,
+            txn_table_dba(self.instance),
+            object_id=0,
+            tenant=0,
+            xid=TransactionId(self.instance, 0),
+        )
+        self.log.append(RedoRecord(scn, self.instance, (cv,)))
+        return 1e-6  # negligible cost
+
+
+class PrimaryInstance:
+    """One RAC node of the primary cluster."""
+
+    def __init__(
+        self,
+        instance_id: InstanceId,
+        manager: TransactionManager,
+        redo_log: RedoLog,
+        node: CpuNode,
+    ) -> None:
+        self.instance_id = instance_id
+        self.manager = manager
+        self.redo_log = redo_log
+        self.node = node
+
+    def __repr__(self) -> str:
+        return f"PrimaryInstance({self.instance_id})"
+
+
+class PrimaryDatabase(InMemoryFeaturesMixin):
+    """The primary cluster: transactions, redo generation, primary DBIM."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        n_instances: Optional[int] = None,
+    ) -> None:
+        self.config = config or SystemConfig()
+        count = n_instances or self.config.rac.primary_instances
+        self.clock = SCNClock()
+        self.txn_table = TransactionTable()
+        self.block_store = BlockStore()
+        self.buffer_cache = BufferCache(capacity_blocks=None)
+        self.catalog = Catalog(self.block_store, self.buffer_cache)
+        #: Objects enabled for IMCS population on *any* database -- drives
+        #: the specialized commit-record flag (paper, III-E).
+        self.imcs_enabled_objects: set[ObjectId] = set()
+        self.instances: list[PrimaryInstance] = []
+        for i in range(1, count + 1):
+            node = CpuNode(f"primary-{i}", n_cpus=16)
+            log = RedoLog(thread=i)
+            manager = TransactionManager(
+                instance=i,
+                clock=self.clock,
+                txn_table=self.txn_table,
+                redo_log=log,
+                imcs_enabled_objects=self.imcs_enabled_objects,
+                specialized_commit_redo=self.config.journal.specialized_commit_redo,
+            )
+            manager.on_commit.append(self._dbim_commit_hook)
+            self.instances.append(PrimaryInstance(i, manager, log, node))
+
+        # primary-side DBIM
+        self.imcs = InMemoryColumnStore(self.config.imcs.pool_size_bytes)
+        self.population = PopulationEngine(
+            self.imcs,
+            self.txn_table,
+            snapshot_capture=lambda owner: self.clock.current,
+            config=self.config.imcs,
+        )
+        self.scan_engine = ScanEngine(self.imcs, self.txn_table)
+        self._init_features()
+
+    def _query_snapshot(self) -> SCN:
+        return self.clock.current
+
+    # ------------------------------------------------------------------
+    # topology helpers
+    # ------------------------------------------------------------------
+    def instance(self, instance_id: InstanceId) -> PrimaryInstance:
+        return self.instances[instance_id - 1]
+
+    @property
+    def redo_logs(self) -> list[RedoLog]:
+        return [inst.redo_log for inst in self.instances]
+
+    def attach_actors(self, sched: Scheduler, heartbeats: bool = True) -> None:
+        """Register background actors (heartbeats, population workers)."""
+        if heartbeats:
+            for inst in self.instances:
+                sched.add_actor(
+                    HeartbeatWriter(
+                        inst.instance_id, self.clock, inst.redo_log,
+                        node=inst.node,
+                    )
+                )
+        for i in range(self.config.imcs.population_workers):
+            sched.add_actor(
+                PopulationWorker(
+                    self.population,
+                    name=f"primary-popworker-{i}",
+                    node=self.instances[0].node,
+                    sweep=(i == 0),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _emit_marker(
+        self, payload: DDLMarkerPayload, instance_id: InstanceId = 1
+    ) -> SCN:
+        scn = self.clock.next()
+        first_oid = payload.object_ids[0] if payload.object_ids else 0
+        cv = ChangeVector(
+            CVOp.DDL_MARKER,
+            ddl_marker_dba(first_oid),
+            object_id=first_oid,
+            tenant=payload.detail.get("tenant", 0),
+            xid=TransactionId(instance_id, 0),
+            payload=payload,
+        )
+        self.instance(instance_id).redo_log.append(
+            RedoRecord(scn, instance_id, (cv,))
+        )
+        return scn
+
+    def create_table(self, table_def: TableDef) -> Table:
+        table = self.catalog.create_table(table_def)
+        shipped = self.catalog.definition(table_def.name)
+        self._emit_marker(
+            DDLMarkerPayload(
+                kind="create_table",
+                object_ids=tuple(table.object_ids),
+                table_name=table.name,
+                detail={"table_def": shipped, "tenant": table.tenant},
+            )
+        )
+        return table
+
+    def drop_column(self, table_name: str, column: str) -> None:
+        """Dictionary-only column drop (paper, III-G's example DDL)."""
+        table = self.catalog.table(table_name)
+        table.schema.drop_column(column)
+        # primary DBIM integration is direct: the column disappears from
+        # the local IMCUs immediately (column-level SMU invalidation).
+        scn = self.clock.current
+        for object_id in table.object_ids:
+            if self.imcs.is_enabled(object_id):
+                for smu in self.imcs.segment(object_id).live_units():
+                    smu.invalidate_column(column, scn)
+        self._emit_marker(
+            DDLMarkerPayload(
+                kind="drop_column",
+                object_ids=tuple(table.object_ids),
+                table_name=table_name,
+                detail={"column": column, "tenant": table.tenant},
+            )
+        )
+
+    def truncate_table(
+        self, table_name: str, partition: Optional[str] = None
+    ) -> None:
+        """TRUNCATE: wipe rows, emit block-level CVs + a marker."""
+        table = self.catalog.table(table_name)
+        names = [partition] if partition else list(table.partitions)
+        instance = self.instance(1)
+        object_ids = []
+        for name in names:
+            part = table.partition(name)
+            scn = self.clock.next()
+            table.truncate_partition(name, scn)
+            cv = ChangeVector(
+                CVOp.TRUNCATE,
+                truncate_dba(part.object_id),
+                object_id=part.object_id,
+                tenant=table.tenant,
+                xid=TransactionId(1, 0),
+                payload=TruncatePayload(part.object_id),
+            )
+            instance.redo_log.append(RedoRecord(scn, 1, (cv,)))
+            object_ids.append(part.object_id)
+            if self.imcs.is_enabled(part.object_id):
+                self.imcs.drop_units(part.object_id)
+        self._emit_marker(
+            DDLMarkerPayload(
+                kind="truncate",
+                object_ids=tuple(object_ids),
+                table_name=table_name,
+                detail={"tenant": table.tenant},
+            )
+        )
+
+    def drop_table(self, table_name: str) -> None:
+        table = self.catalog.table(table_name)
+        object_ids = tuple(table.object_ids)
+        for object_id in object_ids:
+            if self.imcs.is_enabled(object_id):
+                self.imcs.disable(object_id)
+            self.imcs_enabled_objects.discard(object_id)
+        self.catalog.drop_table(table_name)
+        self._emit_marker(
+            DDLMarkerPayload(
+                kind="drop_table",
+                object_ids=object_ids,
+                table_name=table_name,
+                detail={"tenant": table.tenant},
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # in-memory enablement (primary side)
+    # ------------------------------------------------------------------
+    def enable_inmemory(
+        self,
+        table_name: str,
+        partition: Optional[str] = None,
+        columns: Optional[list[str]] = None,
+        priority: int = 0,
+    ) -> None:
+        table = self.catalog.table(table_name)
+        self.imcs.enable(table, partition, columns, priority)
+        names = [partition] if partition else list(table.partitions)
+        for name in names:
+            self.imcs_enabled_objects.add(table.partition(name).object_id)
+        self.population.schedule_all()
+
+    def add_inmemory_expression(self, table_name: str, expression) -> None:
+        """Register an In-Memory Expression on every enabled partition of
+        a table (section V feature); IMCUs repopulate with it included."""
+        table = self.catalog.table(table_name)
+        for object_id in table.object_ids:
+            if self.imcs.is_enabled(object_id):
+                self.imcs.add_expression(object_id, expression)
+        self.population.schedule_all()
+
+    def note_standby_enablement(self, object_ids: list[ObjectId]) -> None:
+        """Record that the standby populates these objects, so commit
+        records carry the modifies-IMCS flag for them too."""
+        self.imcs_enabled_objects.update(object_ids)
+
+    def _dbim_commit_hook(self, txn: Transaction, commit_scn: SCN) -> None:
+        """Synchronous SMU invalidation for the primary's own IMCS."""
+        for change in txn.changes:
+            if not self.imcs.is_enabled(change.object_id):
+                continue
+            self.imcs.invalidate(
+                change.object_id,
+                change.rowid.dba,
+                (change.rowid.slot,),
+                commit_scn,
+            )
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def begin(
+        self, tenant: TenantId = 0, instance_id: InstanceId = 1
+    ) -> Transaction:
+        return self.instance(instance_id).manager.begin(tenant)
+
+    def manager_of(self, txn: Transaction) -> TransactionManager:
+        return self.instance(txn.xid.instance).manager
+
+    def insert(
+        self,
+        txn: Transaction,
+        table_name: str,
+        values: tuple,
+        partition: Optional[str] = None,
+    ) -> RowId:
+        table = self.catalog.table(table_name)
+        return self.manager_of(txn).insert(txn, table, values, partition)
+
+    def update(
+        self,
+        txn: Transaction,
+        table_name: str,
+        rowid: RowId,
+        changes: dict[str, object],
+    ) -> None:
+        table = self.catalog.table(table_name)
+        self.manager_of(txn).update(txn, table, rowid, changes)
+
+    def delete(self, txn: Transaction, table_name: str, rowid: RowId) -> None:
+        table = self.catalog.table(table_name)
+        self.manager_of(txn).delete(txn, table, rowid)
+
+    def commit(self, txn: Transaction) -> SCN:
+        return self.manager_of(txn).commit(txn)
+
+    def rollback(self, txn: Transaction) -> None:
+        self.manager_of(txn).rollback(txn)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        table_name: str,
+        predicates: Optional[list[Predicate]] = None,
+        columns: Optional[list[str]] = None,
+        partitions: Optional[list[str]] = None,
+    ) -> ScanResult:
+        """Run a scan at the current SCN through the primary's IMCS."""
+        table = self.catalog.table(table_name)
+        return self.scan_engine.scan(
+            table, self.clock.current, predicates, columns, partitions
+        )
+
+    def index_fetch(self, table_name: str, column: str, key):
+        table = self.catalog.table(table_name)
+        return table.index_fetch(column, key, self.clock.current, self.txn_table)

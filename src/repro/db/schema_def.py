@@ -1,0 +1,128 @@
+"""Serialisable table definitions.
+
+A physical standby must materialise tables *identical* to the primary's --
+same object ids, same partitioning, same block geometry -- because change
+vectors address physical locations.  :class:`TableDef` is the serialisable
+description that travels either at standby-creation time (the "restore from
+backup" path) or inside a ``create_table`` redo marker (tables created
+while the standby is live).
+
+Partition routing must be serialisable too, so instead of a free-form
+callable the definition carries a :class:`PartitionScheme`:
+
+* ``single`` -- one implicit partition;
+* ``range`` -- route by the first bound greater than the key column value
+  (like Oracle's ``VALUES LESS THAN``);
+* ``hash`` -- route by ``hash(key) % n`` (like ``PARTITION BY HASH``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.ids import ObjectId, TenantId
+from repro.rowstore.values import Column, ColumnType, Schema
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnDef:
+    name: str
+    ctype: ColumnType
+    nullable: bool = True
+
+    @classmethod
+    def number(cls, name: str, nullable: bool = True) -> "ColumnDef":
+        return cls(name, ColumnType.NUMBER, nullable)
+
+    @classmethod
+    def varchar(cls, name: str, nullable: bool = True) -> "ColumnDef":
+        return cls(name, ColumnType.VARCHAR2, nullable)
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionScheme:
+    """How rows route to partitions."""
+
+    kind: str = "single"  # 'single' | 'range' | 'hash'
+    column: Optional[str] = None
+    #: range: list of (partition name, upper bound exclusive); the last
+    #: bound may be None for MAXVALUE.  hash: list of partition names.
+    partitions: tuple = ()
+
+    @classmethod
+    def single(cls) -> "PartitionScheme":
+        return cls()
+
+    @classmethod
+    def by_range(cls, column: str, bounds: list[tuple[str, object]]) -> "PartitionScheme":
+        return cls("range", column, tuple(bounds))
+
+    @classmethod
+    def by_hash(cls, column: str, names: list[str]) -> "PartitionScheme":
+        return cls("hash", column, tuple(names))
+
+    @property
+    def partition_names(self) -> list[str]:
+        if self.kind == "single":
+            return ["P0"]
+        if self.kind == "range":
+            return [name for name, __ in self.partitions]
+        return list(self.partitions)
+
+    def router(self, schema: Schema) -> Optional[Callable[[tuple], str]]:
+        """Build the row -> partition-name routing function."""
+        if self.kind == "single":
+            return None
+        assert self.column is not None
+        index = schema.column_index(self.column)
+        if self.kind == "hash":
+            names = list(self.partitions)
+
+            def hash_route(values: tuple) -> str:
+                return names[hash(values[index]) % len(names)]
+
+            return hash_route
+        bounds = list(self.partitions)
+
+        def range_route(values: tuple) -> str:
+            key = values[index]
+            for name, upper in bounds:
+                if upper is None or key < upper:
+                    return name
+            raise ValueError(f"no partition accepts key {key!r}")
+
+        return range_route
+
+
+@dataclass(frozen=True, slots=True)
+class TableDef:
+    """Complete, serialisable definition of one table."""
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+    tenant: TenantId = 0
+    rows_per_block: int = 64
+    scheme: PartitionScheme = field(default_factory=PartitionScheme.single)
+    indexes: tuple[str, ...] = ()
+    #: Explicit object ids per partition name; assigned by the primary so
+    #: the standby materialises identical ids.
+    partition_object_ids: tuple[tuple[str, ObjectId], ...] = ()
+
+    def schema(self) -> Schema:
+        return Schema(
+            [Column(c.name, c.ctype, c.nullable) for c in self.columns]
+        )
+
+    def with_object_ids(
+        self, assigned: list[tuple[str, ObjectId]]
+    ) -> "TableDef":
+        return TableDef(
+            name=self.name,
+            columns=self.columns,
+            tenant=self.tenant,
+            rows_per_block=self.rows_per_block,
+            scheme=self.scheme,
+            indexes=self.indexes,
+            partition_object_ids=tuple(assigned),
+        )

@@ -1,0 +1,75 @@
+"""Database services: workload routing (paper, Fig. 2).
+
+"In a typical configuration, customers can create three services:
+Standby-only, Primary-only, and Primary-and-Standby using Oracle's
+Services Infrastructure."  A session connects through a service name; the
+registry resolves it to the database role(s) the service runs on, and the
+deployment's session API routes queries accordingly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import InvalidStateError, ObjectNotFoundError
+
+
+class Service(enum.Enum):
+    PRIMARY_ONLY = "primary_only"
+    STANDBY_ONLY = "standby_only"
+    PRIMARY_AND_STANDBY = "primary_and_standby"
+
+    @property
+    def runs_on_primary(self) -> bool:
+        return self in (Service.PRIMARY_ONLY, Service.PRIMARY_AND_STANDBY)
+
+    @property
+    def runs_on_standby(self) -> bool:
+        return self in (Service.STANDBY_ONLY, Service.PRIMARY_AND_STANDBY)
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceDefinition:
+    name: str
+    service: Service
+
+
+class ServiceRegistry:
+    """Named services and the sessions' routing decisions."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, ServiceDefinition] = {}
+
+    def create(self, name: str, service: Service) -> ServiceDefinition:
+        if name in self._services:
+            raise InvalidStateError(f"service {name!r} already exists")
+        definition = ServiceDefinition(name, service)
+        self._services[name] = definition
+        return definition
+
+    def get(self, name: str) -> ServiceDefinition:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise ObjectNotFoundError(f"no such service: {name!r}")
+
+    def route(self, name: str, prefer_standby: bool = True) -> str:
+        """Resolve a service to 'primary' or 'standby'.
+
+        For PRIMARY_AND_STANDBY services, read-only work prefers the
+        standby (the paper's offloading rationale) unless told otherwise.
+        """
+        definition = self.get(name)
+        service = definition.service
+        if service is Service.PRIMARY_ONLY:
+            return "primary"
+        if service is Service.STANDBY_ONLY:
+            return "standby"
+        return "standby" if prefer_standby else "primary"
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def __len__(self) -> int:
+        return len(self._services)

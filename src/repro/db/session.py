@@ -1,0 +1,135 @@
+"""Database sessions: service-routed connections.
+
+The paper's deployment story runs on Oracle's Services Infrastructure:
+"customers can create three services: Standby-only, Primary-only, and
+Primary-and-Standby" and applications connect through a service name,
+never naming an instance.  A :class:`Session` is that connection: it is
+routed at connect time, enforces the standby's read-only rule, runs SQL
+through the mini dialect, and exposes transactions when (and only when)
+the service lands on the primary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import InvalidStateError
+from repro.db.deployment import Deployment
+from repro.db.services import ServiceRegistry
+from repro.db.sql import parse_query
+
+
+class ReadOnlyError(InvalidStateError):
+    """DML attempted through a standby-routed session (ORA-16000)."""
+
+
+class Session:
+    """One client connection, pinned to the database its service chose."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        service_name: str,
+        registry: ServiceRegistry,
+        prefer_standby: bool = True,
+    ) -> None:
+        self.deployment = deployment
+        self.service_name = service_name
+        self.role = registry.route(service_name, prefer_standby)
+        self._txn = None
+        self.queries_run = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def database(self):
+        if self.role == "primary":
+            return self.deployment.primary
+        return self.deployment.standby
+
+    @property
+    def is_read_only(self) -> bool:
+        return self.role == "standby"
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, binds: Optional[dict[int, object]] = None):
+        """Run a SELECT through the mini SQL dialect.
+
+        Returns a list of row tuples for projections, or the aggregate
+        value list for aggregate queries.
+        """
+        query = parse_query(sql)
+        result = query.run(self.database, binds)
+        self.queries_run += 1
+        if isinstance(result, list):  # aggregates
+            return result
+        return result.rows
+
+    # ------------------------------------------------------------------
+    # transactions (primary-routed sessions only)
+    # ------------------------------------------------------------------
+    def _require_writable(self) -> None:
+        if self.is_read_only:
+            raise ReadOnlyError(
+                f"service {self.service_name!r} routes to the standby: "
+                "the database is open read-only"
+            )
+
+    def begin(self, tenant: int = 0):
+        self._require_writable()
+        if self._txn is not None and self._txn.is_active:
+            raise InvalidStateError("session already has an open transaction")
+        self._txn = self.deployment.primary.begin(tenant)
+        return self._txn
+
+    def _active_txn(self):
+        if self._txn is None or not self._txn.is_active:
+            self._txn = self.deployment.primary.begin()
+        return self._txn
+
+    def insert(self, table_name: str, values: tuple, partition=None):
+        self._require_writable()
+        return self.deployment.primary.insert(
+            self._active_txn(), table_name, values, partition
+        )
+
+    def update(self, table_name: str, rowid, changes: dict) -> None:
+        self._require_writable()
+        self.deployment.primary.update(
+            self._active_txn(), table_name, rowid, changes
+        )
+
+    def delete(self, table_name: str, rowid) -> None:
+        self._require_writable()
+        self.deployment.primary.delete(self._active_txn(), table_name, rowid)
+
+    def commit(self):
+        self._require_writable()
+        if self._txn is None or not self._txn.is_active:
+            return None
+        scn = self.deployment.primary.commit(self._txn)
+        self._txn = None
+        return scn
+
+    def rollback(self) -> None:
+        self._require_writable()
+        if self._txn is not None and self._txn.is_active:
+            self.deployment.primary.rollback(self._txn)
+        self._txn = None
+
+    def __repr__(self) -> str:
+        return f"Session(service={self.service_name!r}, role={self.role})"
+
+
+class SessionPool:
+    """Creates service-routed sessions against one deployment."""
+
+    def __init__(self, deployment: Deployment) -> None:
+        self.deployment = deployment
+        self.registry = ServiceRegistry()
+
+    def connect(self, service_name: str, prefer_standby: bool = True) -> Session:
+        return Session(
+            self.deployment, service_name, self.registry, prefer_standby
+        )

@@ -1,0 +1,297 @@
+"""The physical standby database.
+
+Wires together every component of sections II-A and III:
+
+* inbound redo (:class:`~repro.redo.shipping.RedoReceiver`), the log
+  merger, the apply distributor, N recovery workers and the recovery
+  coordinator publishing the QuerySCN under the quiesce lock;
+* when DBIM-on-ADG is enabled: the mining component installed as the
+  workers' sniffer, the IM-ADG Journal / Commit Table / DDL Information
+  Table, and the invalidation flush component installed as the
+  coordinator's advance protocol (with cooperative flush hooks on the
+  workers);
+* the standby's own IMCS with population synchronised to published
+  QuerySCNs through the quiesce lock;
+* a recovered transaction table, fed exclusively by applied control CVs,
+  backing Consistent Read for standby queries.
+
+The standby is strictly read-only: its public query API scans at the
+current QuerySCN, which the advancement protocol guarantees is covered by
+all flushed invalidations -- the precondition the scan engine relies on.
+
+``restart()`` models the paper's section III-E scenario: all DBIM-on-ADG
+state is volatile ("the IMCS has no persistent footprint other than the
+underlying row-store objects"), while the row store and apply progress
+survive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adg.apply import ApplyDistributor, RecoveryWorker
+from repro.adg.coordinator import RecoveryCoordinator
+from repro.adg.merger import LogMerger
+from repro.adg.queryscn import QuerySCNPublisher
+from repro.common.config import SystemConfig
+from repro.common.latch import QuiesceLock
+from repro.common.scn import SCN
+from repro.dbim_adg.commit_table import IMADGCommitTable
+from repro.dbim_adg.ddl import DDLInformationTable
+from repro.dbim_adg.flush import InvalidationFlushComponent
+from repro.dbim_adg.journal import IMADGJournal
+from repro.dbim_adg.mining import MiningComponent
+from repro.imcs.population import PopulationEngine, PopulationWorker
+from repro.imcs.scan import Predicate, ScanEngine, ScanResult
+from repro.imcs.store import InMemoryColumnStore
+from repro.redo.records import ChangeVector, DDLMarkerPayload
+from repro.redo.shipping import RedoReceiver
+from repro.rowstore.buffer_cache import BufferCache
+from repro.rowstore.segment import BlockStore
+from repro.sim.cpu import CpuNode
+from repro.sim.scheduler import Scheduler
+from repro.txn.table import TransactionTable
+from repro.db.applier import PhysicalApplier
+from repro.db.catalog import Catalog
+from repro.db.features import InMemoryFeaturesMixin
+from repro.db.schema_def import TableDef
+
+
+class StandbyDatabase(InMemoryFeaturesMixin):
+    """One standby instance (the SIRA apply master)."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        table_defs: Optional[list[TableDef]] = None,
+        dbim_enabled: bool = True,
+        node: Optional[CpuNode] = None,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.dbim_enabled = dbim_enabled
+        self.node = node or CpuNode("standby-1", n_cpus=16)
+
+        # --- row store ("datafiles" + recovered dictionary) -------------
+        self.block_store = BlockStore()
+        self.buffer_cache = BufferCache(capacity_blocks=None)
+        self.catalog = Catalog(self.block_store, self.buffer_cache)
+        for table_def in table_defs or []:
+            self.catalog.create_table(table_def)
+        self.txn_table = TransactionTable()
+        self._applier = PhysicalApplier(self.catalog, self.txn_table)
+
+        # --- media recovery pipeline -------------------------------------
+        apply_cfg = self.config.apply
+        self.receiver = RedoReceiver()
+        self.merger = LogMerger(self.receiver, node=self.node)
+        self.distributor = ApplyDistributor(apply_cfg.n_workers)
+        self.quiesce_lock = QuiesceLock()
+        self.query_scn = QuerySCNPublisher()
+
+        # --- DBIM-on-ADG components -------------------------------------
+        self.imcs = InMemoryColumnStore(self.config.imcs.pool_size_bytes)
+        journal_cfg = self.config.journal
+        self.journal = IMADGJournal(
+            max(journal_cfg.n_buckets, 4 * apply_cfg.n_workers)
+        )
+        self.commit_table = IMADGCommitTable(journal_cfg.commit_table_partitions)
+        self.ddl_table = DDLInformationTable()
+        self.miner = MiningComponent(
+            self.journal, self.commit_table, self.ddl_table, self.imcs
+        )
+        self.flush = InvalidationFlushComponent(
+            self.journal,
+            self.commit_table,
+            self.ddl_table,
+            self.imcs,
+            ddl_applier=self._apply_ddl,
+            cooperative=apply_cfg.cooperative_flush,
+        )
+
+        sniffer = self.miner.sniff if dbim_enabled else None
+        flush_helper = (
+            self.flush.worker_flush
+            if dbim_enabled and apply_cfg.cooperative_flush
+            else None
+        )
+        self.workers = [
+            RecoveryWorker(
+                i,
+                self.distributor,
+                applier=self,
+                sniffer=sniffer,
+                flush_helper=flush_helper,
+                batch=apply_cfg.worker_batch,
+                flush_batch=apply_cfg.cooperative_flush_batch,
+                node=self.node,
+                cost_per_cv=apply_cfg.apply_cost_per_cv,
+            )
+            for i in range(apply_cfg.n_workers)
+        ]
+        self.coordinator = RecoveryCoordinator(
+            self.merger,
+            self.distributor,
+            self.workers,
+            self.query_scn,
+            self.quiesce_lock,
+            advance_protocol=self.flush if dbim_enabled else None,
+            interval=apply_cfg.coordinator_interval,
+            flush_batch=apply_cfg.coordinator_flush_batch,
+            node=self.node,
+        )
+
+        # --- population (QuerySCN-snapshot discipline) --------------------
+        self.population = PopulationEngine(
+            self.imcs,
+            self.txn_table,
+            snapshot_capture=self._capture_snapshot,
+            config=self.config.imcs,
+        )
+        self.scan_engine = ScanEngine(self.imcs, self.txn_table)
+        self._init_features()
+        self.restarts = 0
+
+    def _query_snapshot(self) -> SCN:
+        return self.query_scn.value
+
+    # ------------------------------------------------------------------
+    # wiring helpers
+    # ------------------------------------------------------------------
+    def attach_actors(self, sched: Scheduler) -> None:
+        sched.add_actor(self.merger)
+        sched.add_actor(self.coordinator)
+        for worker in self.workers:
+            sched.add_actor(worker)
+        for i in range(self.config.imcs.population_workers):
+            sched.add_actor(
+                PopulationWorker(
+                    self.population,
+                    name=f"standby-popworker-{i}",
+                    node=self.node,
+                    sweep=(i == 0),
+                )
+            )
+
+    def _capture_snapshot(self, owner: object) -> Optional[SCN]:
+        """Population snapshot = the current published QuerySCN, captured
+        under the shared quiesce lock (paper, III-A)."""
+        if self.query_scn.value == 0:
+            return None  # no consistency point published yet
+        if not self.quiesce_lock.try_acquire_shared(owner):
+            return None  # quiesce period in progress
+        try:
+            return self.query_scn.value
+        finally:
+            self.quiesce_lock.release_shared(owner)
+
+    # ------------------------------------------------------------------
+    # in-memory enablement (standby side)
+    # ------------------------------------------------------------------
+    def enable_inmemory(
+        self,
+        table_name: str,
+        partition: Optional[str] = None,
+        columns: Optional[list[str]] = None,
+        priority: int = 0,
+    ) -> list[int]:
+        """Enable object(s) for population on this standby; returns the
+        enabled object ids (the deployment reports them to the primary for
+        specialized commit redo)."""
+        table = self.catalog.table(table_name)
+        self.imcs.enable(table, partition, columns, priority)
+        names = [partition] if partition else list(table.partitions)
+        object_ids = [table.partition(n).object_id for n in names]
+        self.population.schedule_all()
+        return object_ids
+
+    def add_inmemory_expression(self, table_name: str, expression) -> None:
+        """Register an In-Memory Expression on every enabled partition of
+        a table (section V: "In-Memory Expressions are now supported on
+        the Standby database"); IMCUs repopulate with it included."""
+        table = self.catalog.table(table_name)
+        for object_id in table.object_ids:
+            if self.imcs.is_enabled(object_id):
+                self.imcs.add_expression(object_id, expression)
+        self.population.schedule_all()
+
+    # ------------------------------------------------------------------
+    # CVApplier: physical redo apply (delegated to PhysicalApplier)
+    # ------------------------------------------------------------------
+    def apply_cv(self, cv: ChangeVector, scn: SCN) -> None:
+        self._applier.apply_cv(cv, scn)
+
+    # ------------------------------------------------------------------
+    # DDL application at QuerySCN advancement (flush's ddl_applier)
+    # ------------------------------------------------------------------
+    def _apply_ddl(self, payload: DDLMarkerPayload) -> None:
+        kind = payload.kind
+        if kind == "drop_column":
+            table = self.catalog.table(payload.table_name)
+            column = payload.detail["column"]
+            if not table.schema.is_dropped(column):
+                table.schema.drop_column(column)
+        elif kind == "drop_table":
+            if payload.table_name in self.catalog:
+                self.catalog.drop_table(payload.table_name)
+        # 'truncate' needs nothing beyond the IMCU drop the flush component
+        # already performed; 'create_table' was applied at apply time.
+
+    # ------------------------------------------------------------------
+    # queries (read-only, at the QuerySCN)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        table_name: str,
+        predicates: Optional[list[Predicate]] = None,
+        columns: Optional[list[str]] = None,
+        partitions: Optional[list[str]] = None,
+    ) -> ScanResult:
+        table = self.catalog.table(table_name)
+        return self.scan_engine.scan(
+            table, self.query_scn.value, predicates, columns, partitions
+        )
+
+    def index_fetch(self, table_name: str, column: str, key):
+        table = self.catalog.table(table_name)
+        return table.index_fetch(
+            column, key, self.query_scn.value, self.txn_table
+        )
+
+    # ------------------------------------------------------------------
+    # lag metrics (Fig. 11)
+    # ------------------------------------------------------------------
+    @property
+    def applied_through_scn(self) -> SCN:
+        return min(
+            (w.applied_through() for w in self.workers),
+            default=self.query_scn.value,
+        )
+
+    @property
+    def received_through_scn(self) -> SCN:
+        values = self.receiver.received_scn.values()
+        return min(values) if values else 0
+
+    # ------------------------------------------------------------------
+    # instance restart (paper, III-E)
+    # ------------------------------------------------------------------
+    def restart(self) -> None:
+        """Bounce the instance: every DBIM-on-ADG structure is volatile.
+
+        The row store, the recovered transaction table (rebuilt from redo
+        in reality; its content is exactly reproducible, so it stays) and
+        the apply pipeline's positions survive; the journal, commit table,
+        DDL information table, every IMCU and all queued population work
+        are lost.  Redo that was mined-but-not-flushed before the restart
+        is what the section III-E coarse-invalidation protocol exists for.
+        """
+        self.journal.clear()
+        self.commit_table.clear()
+        self.ddl_table.clear()
+        self.flush.clear()
+        self.miner.clear()
+        for segment in list(self.imcs.segments()):
+            self.imcs.drop_units(segment.object_id)
+            segment.pending.clear()
+        self.population.reset()
+        self.restarts += 1

@@ -1,0 +1,229 @@
+"""The Invalidation Flush Component (paper, sections III-D and III-F).
+
+At QuerySCN advancement the recovery coordinator chops the IM-ADG Commit
+Table into a **worklink** of commit-table nodes whose transactions have
+commitSCN at or below the target.  For each node, the component gathers the
+transaction's invalidation records through the one-step anchor reference,
+organises them into **invalidation groups** (per object, chunked by block)
+and routes each group to the SMUs -- directly on this instance, or over the
+interconnect on RAC (the router abstraction; see ``repro.rac``).
+
+Flush is on the critical path of QuerySCN publication, so two paper
+optimisations are implemented:
+
+* **cooperative flush** -- recovery workers drain worklink batches between
+  apply batches (their ``flush_helper`` hook calls :meth:`worker_flush`);
+* **commit-table partitioning** -- the chop concatenates per-partition
+  prefixes instead of walking one global list.
+
+DDL markers whose SCN is covered by the target are processed during
+``begin_advance``: the object's IMCUs are dropped and the schema change is
+applied, *before* the new QuerySCN becomes visible to queries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.ids import DBA, ObjectId, TenantId, WorkerId
+from repro.common.scn import SCN
+from repro.dbim_adg.commit_table import CommitTableNode, IMADGCommitTable
+from repro.dbim_adg.ddl import DDLInformationTable
+from repro.dbim_adg.journal import IMADGJournal
+from repro.imcs.store import InMemoryColumnStore
+from repro.redo.records import DDLMarkerPayload
+
+
+@dataclass(slots=True)
+class InvalidationGroup:
+    """A batch of invalidations for one object, applied at one commitSCN.
+
+    ``blocks`` maps DBA -> tuple of slots (empty tuple = whole block).
+    Groups are the unit of routing: local application or one interconnect
+    message entry on RAC.
+    """
+
+    object_id: ObjectId
+    tenant: TenantId
+    commit_scn: SCN
+    blocks: dict[DBA, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+
+class LocalInvalidationRouter:
+    """Applies invalidation groups to this instance's IMCS directly."""
+
+    def __init__(self, store: InMemoryColumnStore) -> None:
+        self.store = store
+        self.groups_routed = 0
+
+    def route(self, group: InvalidationGroup) -> None:
+        for dba, slots in group.blocks.items():
+            self.store.invalidate(
+                group.object_id, dba, slots, group.commit_scn
+            )
+        self.groups_routed += 1
+
+    def route_coarse(self, tenant: TenantId, scn: SCN) -> None:
+        self.store.invalidate_tenant(tenant, scn)
+
+    def drained(self) -> bool:
+        return True  # local application is synchronous
+
+
+@dataclass(slots=True)
+class Worklink:
+    """The chopped-off commit-table prefix being flushed (paper, Fig. 8)."""
+
+    target_scn: SCN
+    nodes: deque[CommitTableNode]
+    created: int = 0
+
+    def __post_init__(self) -> None:
+        self.created = len(self.nodes)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.nodes)
+
+
+class InvalidationFlushComponent:
+    """Implements the coordinator's AdvanceProtocol for DBIM-on-ADG."""
+
+    def __init__(
+        self,
+        journal: IMADGJournal,
+        commit_table: IMADGCommitTable,
+        ddl_table: DDLInformationTable,
+        store: InMemoryColumnStore,
+        router: Optional[LocalInvalidationRouter] = None,
+        ddl_applier: Optional[Callable[[DDLMarkerPayload], None]] = None,
+        cooperative: bool = True,
+        group_block_limit: int = 64,
+    ) -> None:
+        self.journal = journal
+        self.commit_table = commit_table
+        self.ddl_table = ddl_table
+        self.store = store
+        self.router = router or LocalInvalidationRouter(store)
+        #: Applies schema changes on the standby (drop column, drop table,
+        #: create table) when a DDL marker is processed.
+        self.ddl_applier = ddl_applier
+        #: Whether recovery workers participate (ablation switch).
+        self.cooperative = cooperative
+        #: Maximum blocks per invalidation group (RAC message sizing).
+        self.group_block_limit = group_block_limit
+        self.worklink: Optional[Worklink] = None
+        # statistics
+        self.nodes_flushed = 0
+        self.nodes_flushed_by_workers = 0
+        self.groups_created = 0
+        self.coarse_flushes = 0
+        self.ddl_processed = 0
+
+    # ------------------------------------------------------------------
+    # AdvanceProtocol
+    # ------------------------------------------------------------------
+    def begin_advance(self, target_scn: SCN) -> None:
+        nodes = self.commit_table.chop(target_scn)
+        self.worklink = Worklink(target_scn, deque(nodes))
+        self._process_ddl(target_scn)
+
+    def coordinator_flush(self, batch: int) -> int:
+        return self._flush_nodes(batch, by_worker=False)
+
+    def is_advance_complete(self) -> bool:
+        return (
+            (self.worklink is None or self.worklink.remaining == 0)
+            and self.router.drained()
+        )
+
+    def finish_advance(self, target_scn: SCN) -> None:
+        self.worklink = None
+
+    # ------------------------------------------------------------------
+    # cooperative flush hook for recovery workers
+    # ------------------------------------------------------------------
+    def worker_flush(self, worker_id: WorkerId, batch: int) -> int:
+        """Installed as the recovery workers' flush helper."""
+        if not self.cooperative:
+            return 0
+        flushed = self._flush_nodes(batch, by_worker=True)
+        self.nodes_flushed_by_workers += flushed
+        return flushed
+
+    # ------------------------------------------------------------------
+    def _flush_nodes(self, batch: int, by_worker: bool) -> int:
+        worklink = self.worklink
+        if worklink is None or not worklink.nodes:
+            return 0
+        flushed = 0
+        while worklink.nodes and flushed < batch:
+            node = worklink.nodes.popleft()
+            self._flush_one(node)
+            flushed += 1
+        self.nodes_flushed += flushed
+        return flushed
+
+    def _flush_one(self, node: CommitTableNode) -> None:
+        if node.coarse:
+            self.router.route_coarse(node.tenant, node.commit_scn)
+            self.coarse_flushes += 1
+        elif node.anchor is not None:
+            for group in self._gather_groups(node):
+                self.router.route(group)
+                self.groups_created += 1
+        # the anchor's job is done: release it from the journal (retry the
+        # latch inline -- the flush owns the advancement critical path)
+        removed = self.journal.remove(node.xid, self)
+        while removed is None:
+            removed = self.journal.remove(node.xid, self)
+
+    def _gather_groups(self, node: CommitTableNode) -> list[InvalidationGroup]:
+        """Organise a transaction's records into invalidation groups
+        (paper, III-D: "chunks them up into invalidation groups based on
+        the DBA ranges for IMCUs")."""
+        assert node.anchor is not None
+        groups: dict[ObjectId, InvalidationGroup] = {}
+        out: list[InvalidationGroup] = []
+        for record in node.anchor.all_records():
+            group = groups.get(record.object_id)
+            if group is None or group.n_blocks >= self.group_block_limit:
+                group = InvalidationGroup(
+                    object_id=record.object_id,
+                    tenant=record.tenant,
+                    commit_scn=node.commit_scn,
+                )
+                groups[record.object_id] = group
+                out.append(group)
+            existing = group.blocks.get(record.dba)
+            if existing is None:
+                group.blocks[record.dba] = record.slots
+            elif existing == () or record.slots == ():
+                group.blocks[record.dba] = ()  # whole block wins
+            else:
+                group.blocks[record.dba] = tuple(
+                    sorted(set(existing) | set(record.slots))
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    def _process_ddl(self, target_scn: SCN) -> None:
+        for entry in self.ddl_table.take_through(target_scn):
+            for object_id in entry.payload.object_ids:
+                self.store.drop_units(object_id)
+                if entry.payload.kind in ("drop_table", "alter_no_inmemory"):
+                    self.store.disable(object_id)
+            if self.ddl_applier is not None:
+                self.ddl_applier(entry.payload)
+            self.ddl_processed += 1
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Instance restart: all volatile state is lost."""
+        self.worklink = None

@@ -1,0 +1,149 @@
+"""The IM-ADG Journal (paper, section III-C, Fig. 7).
+
+"The core structure of the IM-ADG Journal contains an in-memory hash table
+mapping a transaction identifier to its invalidation records.  The hash
+table is sized based on the degree of parallelism employed by the ADG
+architecture, to ensure minimal contention between the recovery worker
+processes. [...] The resulting hash-chains are protected using a 'bucket
+latch'. [...] Once an anchor node is created for a transaction, each
+recovery worker is provided its own area in the anchor node to buffer the
+invalidation records it mines.  This gets rid of all synchronization needed
+between multiple recovery workers mining invalidation records for a
+transaction."
+
+Latch discipline here mirrors that: hash-chain lookup/insert/delete takes
+the bucket latch (a miss makes the caller retry on its next step, like a
+spinning process), while appends into a worker's own buffer area are
+latch-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.common.ids import DBA, ObjectId, TenantId, TransactionId, WorkerId
+from repro.common.latch import BucketLatchSet
+from repro.common.scn import SCN
+
+
+@dataclass(frozen=True, slots=True)
+class InvalidationRecord:
+    """One mined tuple (paper, Fig. 6): which rows of which block of which
+    object a transaction modified, plus the tenant for multi-tenancy.
+
+    ``slots`` empty means the whole block is affected (e.g. truncate).
+    ``scn`` is the SCN of the sniffed change vector.
+    """
+
+    object_id: ObjectId
+    dba: DBA
+    slots: tuple[int, ...]
+    tenant: TenantId
+    scn: SCN
+
+
+@dataclass(slots=True)
+class AnchorNode:
+    """Hash-table node anchoring one transaction's invalidation records."""
+
+    xid: TransactionId
+    tenant: TenantId
+    #: True once the 'transaction begin' control CV has been mined; a
+    #: commit arriving without it signals a pre-restart transaction
+    #: (paper, III-E).
+    has_begin: bool = False
+    prepared: bool = False
+    #: Per-worker buffer areas -- appends need no synchronisation.
+    worker_records: dict[WorkerId, list[InvalidationRecord]] = field(
+        default_factory=dict
+    )
+
+    def add(self, worker_id: WorkerId, record: InvalidationRecord) -> None:
+        self.worker_records.setdefault(worker_id, []).append(record)
+
+    def all_records(self) -> Iterator[InvalidationRecord]:
+        for records in self.worker_records.values():
+            yield from records
+
+    @property
+    def n_records(self) -> int:
+        return sum(len(r) for r in self.worker_records.values())
+
+
+class IMADGJournal:
+    """Hash table of anchor nodes with bucket latches."""
+
+    def __init__(self, n_buckets: int = 64) -> None:
+        if n_buckets < 1:
+            raise ValueError("journal needs at least one bucket")
+        self._buckets: list[dict[TransactionId, AnchorNode]] = [
+            {} for __ in range(n_buckets)
+        ]
+        self.latches = BucketLatchSet(n_buckets, name="im-adg-journal")
+        self.anchors_created = 0
+
+    def _bucket_index(self, xid: TransactionId) -> int:
+        return hash(xid) % len(self._buckets)
+
+    # Every operation takes the bucket latch for the duration of the call
+    # and returns None/False on a miss; callers retry on their next step.
+
+    def get_or_create(
+        self, xid: TransactionId, tenant: TenantId, owner: object
+    ) -> Optional[AnchorNode]:
+        index = self._bucket_index(xid)
+        latch = self.latches.latch_for(index)
+        if not latch.try_acquire(owner):
+            return None
+        try:
+            anchor = self._buckets[index].get(xid)
+            if anchor is None:
+                anchor = AnchorNode(xid=xid, tenant=tenant)
+                self._buckets[index][xid] = anchor
+                self.anchors_created += 1
+            return anchor
+        finally:
+            latch.release(owner)
+
+    def get(
+        self, xid: TransactionId, owner: object
+    ) -> tuple[bool, Optional[AnchorNode]]:
+        """Returns (latch acquired, anchor-or-None)."""
+        index = self._bucket_index(xid)
+        latch = self.latches.latch_for(index)
+        if not latch.try_acquire(owner):
+            return False, None
+        try:
+            return True, self._buckets[index].get(xid)
+        finally:
+            latch.release(owner)
+
+    def remove(self, xid: TransactionId, owner: object) -> Optional[bool]:
+        """Remove an anchor.  None = latch miss (retry); bool = removed."""
+        index = self._bucket_index(xid)
+        latch = self.latches.latch_for(index)
+        if not latch.try_acquire(owner):
+            return None
+        try:
+            return self._buckets[index].pop(xid, None) is not None
+        finally:
+            latch.release(owner)
+
+    def clear(self) -> None:
+        """Drop all state (standby instance restart: the journal has no
+        persistent footprint)."""
+        for bucket in self._buckets:
+            bucket.clear()
+
+    @property
+    def anchor_count(self) -> int:
+        return sum(len(b) for b in self._buckets)
+
+    @property
+    def record_count(self) -> int:
+        return sum(
+            anchor.n_records
+            for bucket in self._buckets
+            for anchor in bucket.values()
+        )

@@ -1,0 +1,201 @@
+"""The Mining Component (paper, section III-B, Fig. 6).
+
+"The DBIM-on-ADG Mining Component piggybacks on the recovery workers to
+'sniff' each CV.  If the CV modifies an object that is specified to be
+loaded in the IMCS on the Standby database, a tuple consisting of the
+Object Identifier, Data Block Identifier (DBA) and the list of changed rows
+in the data block is noted down in the IM-ADG Journal. [...]  In addition
+to mining changes to the data in the IMCS, DBIM-on-ADG protocols need to
+mine certain control information [...] viz. transaction state changes like
+Transaction Begin, Prepare, Commit and Abort and the commitSCN associated
+with each transaction."
+
+The ``sniff`` method is installed as the recovery workers' sniffer hook: it
+runs *before* a CV is applied and returns False on a journal/commit-table
+latch miss, making the worker retry the same CV on its next step.
+
+Restart protocol (section III-E): a mined commit record whose transaction
+has no 'begin' in the journal is a pre-restart transaction.  If the commit
+record's flag says it modified IMCS-enabled objects -- or specialized redo
+generation is off and we must be pessimistic -- a *coarse* commit-table
+node is created, whose flush invalidates every IMCU of the tenant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.ids import TransactionId, WorkerId
+from repro.common.scn import SCN
+from repro.dbim_adg.commit_table import CommitTableNode, IMADGCommitTable
+from repro.dbim_adg.ddl import DDLInformationTable
+from repro.dbim_adg.journal import IMADGJournal, InvalidationRecord
+from repro.imcs.store import InMemoryColumnStore
+from repro.redo.records import (
+    CVOp,
+    ChangeVector,
+    CommitPayload,
+    DeletePayload,
+    InsertPayload,
+    TruncatePayload,
+    UpdatePayload,
+)
+
+
+class MiningComponent:
+    """Sniffs change vectors during redo apply."""
+
+    def __init__(
+        self,
+        journal: IMADGJournal,
+        commit_table: IMADGCommitTable,
+        ddl_table: DDLInformationTable,
+        imcs: InMemoryColumnStore,
+    ) -> None:
+        self.journal = journal
+        self.commit_table = commit_table
+        self.ddl_table = ddl_table
+        self.imcs = imcs
+        #: Optional hook fired when a transaction abort is mined (used by
+        #: MIRA to garbage-collect the transaction's anchors on *other*
+        #: apply instances, which never see the abort control CV).
+        self.on_abort: Optional[Callable[[TransactionId, SCN], None]] = None
+        # statistics
+        self.data_records_mined = 0
+        self.control_records_mined = 0
+        self.ddl_markers_mined = 0
+        self.latch_misses = 0
+        self.coarse_nodes_created = 0
+
+    # ------------------------------------------------------------------
+    def sniff(
+        self, cv: ChangeVector, scn: SCN, worker_id: WorkerId, owner: object
+    ) -> bool:
+        """Mine one CV.  False = latch miss; the worker must retry it."""
+        op = cv.op
+        if op is CVOp.HEARTBEAT or op is CVOp.UNDO:
+            # Heartbeats carry no change.  UNDO (rollback) restores rows to
+            # their committed state -- which is what the IMCU already holds,
+            # so aborted changes never need invalidation; the journal's
+            # buffered records are discarded when the abort is mined.
+            return True
+        if op is CVOp.DDL_MARKER:
+            self.ddl_table.add(scn, cv.payload)
+            self.ddl_markers_mined += 1
+            return True
+        if cv.is_control:
+            return self._sniff_control(cv, scn, owner)
+        return self._sniff_data(cv, scn, worker_id, owner)
+
+    # ------------------------------------------------------------------
+    def _sniff_control(
+        self, cv: ChangeVector, scn: SCN, owner: object
+    ) -> bool:
+        op = cv.op
+        if op is CVOp.TXN_BEGIN:
+            anchor = self.journal.get_or_create(cv.xid, cv.tenant, owner)
+            if anchor is None:
+                self.latch_misses += 1
+                return False
+            anchor.has_begin = True
+            self.control_records_mined += 1
+            return True
+        if op is CVOp.TXN_PREPARE:
+            anchor = self.journal.get_or_create(cv.xid, cv.tenant, owner)
+            if anchor is None:
+                self.latch_misses += 1
+                return False
+            anchor.prepared = True
+            self.control_records_mined += 1
+            return True
+        if op is CVOp.TXN_ABORT:
+            removed = self.journal.remove(cv.xid, owner)
+            if removed is None:
+                self.latch_misses += 1
+                return False
+            self.control_records_mined += 1
+            if self.on_abort is not None:
+                self.on_abort(cv.xid, scn)
+            return True
+        if op is CVOp.TXN_COMMIT:
+            return self._sniff_commit(cv, owner)
+        raise ValueError(f"unhandled control op {op}")
+
+    def _sniff_commit(self, cv: ChangeVector, owner: object) -> bool:
+        payload: CommitPayload = cv.payload
+        acquired, anchor = self.journal.get(cv.xid, owner)
+        if not acquired:
+            self.latch_misses += 1
+            return False
+        if anchor is not None and anchor.has_begin:
+            node = CommitTableNode(
+                xid=cv.xid,
+                commit_scn=payload.commit_scn,
+                anchor=anchor,
+                tenant=cv.tenant,
+            )
+        else:
+            # Missing 'transaction begin': mined state predates an instance
+            # restart (paper, III-E).  The commit-record flag decides:
+            #   False      -> transaction touched no IMCS object; skip.
+            #   True/None  -> coarse invalidation of the tenant's IMCUs
+            #                 (None = no specialized redo: be pessimistic).
+            if payload.modifies_imcs is False:
+                self.control_records_mined += 1
+                return True
+            node = CommitTableNode(
+                xid=cv.xid,
+                commit_scn=payload.commit_scn,
+                anchor=anchor,
+                tenant=cv.tenant,
+                coarse=True,
+            )
+            self.coarse_nodes_created += 1
+        if not self.commit_table.insert(node, owner):
+            self.latch_misses += 1
+            if node.coarse:
+                self.coarse_nodes_created -= 1  # will be recreated on retry
+            return False
+        self.control_records_mined += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def _sniff_data(
+        self, cv: ChangeVector, scn: SCN, worker_id: WorkerId, owner: object
+    ) -> bool:
+        if not self.imcs.is_enabled(cv.object_id):
+            return True  # not populated here: nothing to maintain
+        slots = self._changed_slots(cv)
+        anchor = self.journal.get_or_create(cv.xid, cv.tenant, owner)
+        if anchor is None:
+            self.latch_misses += 1
+            return False
+        anchor.add(
+            worker_id,
+            InvalidationRecord(
+                object_id=cv.object_id,
+                dba=cv.dba,
+                slots=slots,
+                tenant=cv.tenant,
+                scn=scn,
+            ),
+        )
+        self.data_records_mined += 1
+        return True
+
+    @staticmethod
+    def _changed_slots(cv: ChangeVector) -> tuple[int, ...]:
+        payload = cv.payload
+        if isinstance(payload, (InsertPayload, UpdatePayload, DeletePayload)):
+            return (payload.slot,)
+        if isinstance(payload, TruncatePayload):
+            return ()  # whole block
+        return ()
+
+    def clear(self) -> None:
+        """Reset statistics (state lives in the journal/tables)."""
+        self.data_records_mined = 0
+        self.control_records_mined = 0
+        self.ddl_markers_mined = 0
+        self.latch_misses = 0
+        self.coarse_nodes_created = 0

@@ -1,0 +1,416 @@
+"""Column compression units (CUs).
+
+"IMCUs employ techniques like data compression and encoding to efficiently
+pack the IMCS" (paper, II-B).  Three encodings are provided:
+
+* :class:`NumericCU` -- NUMBER columns as a float64 vector plus a null
+  bitmap; predicates evaluate as numpy comparisons (the stand-in for
+  Oracle's SIMD vector processing).
+* :class:`DictionaryCU` -- VARCHAR2 columns as int32 codes into a *sorted*
+  dictionary; equality resolves to one code compare, range predicates to a
+  code-range compare (sortedness makes order-preserving encoding possible).
+* :class:`RunLengthCU` -- run-length layer over dictionary codes, selected
+  when the column has long runs; decodes to the same interface.
+
+Every CU answers the same small interface: vectorised predicate masks,
+point access for projection, min/max for the storage index, and a memory
+estimate for the pool accounting.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Dictionary code used for NULL values.
+NULL_CODE = -1
+
+#: Switch to run-length encoding when the average run is at least this long.
+RLE_MIN_AVG_RUN = 4.0
+
+
+class ColumnCU:
+    """Interface shared by every column compression unit."""
+
+    #: Number of rows.
+    n_rows: int
+
+    def get(self, i: int) -> object:
+        """Decoded value of row ``i`` (None for NULL)."""
+        raise NotImplementedError
+
+    def eq_mask(self, value: object) -> np.ndarray:
+        """Boolean mask of rows equal to ``value`` (NULLs never match)."""
+        raise NotImplementedError
+
+    def range_mask(
+        self, lo: object | None, hi: object | None,
+        lo_inclusive: bool = True, hi_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Boolean mask of rows within the range (NULLs never match)."""
+        raise NotImplementedError
+
+    def null_mask(self) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def min_value(self) -> object:
+        """Smallest non-NULL value (storage index); None if all NULL."""
+        raise NotImplementedError
+
+    @property
+    def max_value(self) -> object:
+        raise NotImplementedError
+
+    @property
+    def memory_bytes(self) -> int:
+        raise NotImplementedError
+
+
+class NumericCU(ColumnCU):
+    """NUMBER column: contiguous float64 vector + null bitmap."""
+
+    def __init__(self, values: Sequence[Optional[float]]) -> None:
+        self.n_rows = len(values)
+        self._nulls = np.fromiter(
+            (v is None for v in values), dtype=bool, count=self.n_rows
+        )
+        self._data = np.fromiter(
+            (0.0 if v is None else float(v) for v in values),
+            dtype=np.float64,
+            count=self.n_rows,
+        )
+        present = self._data[~self._nulls]
+        self._min = float(present.min()) if present.size else None
+        self._max = float(present.max()) if present.size else None
+
+    def get(self, i: int) -> object:
+        if self._nulls[i]:
+            return None
+        value = self._data[i]
+        # give back ints where the stored value is integral, so projected
+        # tuples compare equal to the row-store originals
+        return int(value) if value.is_integer() else float(value)
+
+    def eq_mask(self, value: object) -> np.ndarray:
+        if value is None:
+            return np.zeros(self.n_rows, dtype=bool)
+        return (self._data == float(value)) & ~self._nulls  # type: ignore[arg-type]
+
+    def range_mask(self, lo=None, hi=None, lo_inclusive=True, hi_inclusive=True):
+        mask = ~self._nulls
+        if lo is not None:
+            mask &= (self._data >= lo) if lo_inclusive else (self._data > lo)
+        if hi is not None:
+            mask &= (self._data <= hi) if hi_inclusive else (self._data < hi)
+        return mask
+
+    def null_mask(self) -> np.ndarray:
+        return self._nulls.copy()
+
+    @property
+    def min_value(self):
+        return self._min
+
+    @property
+    def max_value(self):
+        return self._max
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._data.nbytes + self._nulls.nbytes)
+
+
+class DictionaryCU(ColumnCU):
+    """VARCHAR2 column: int32 codes into a sorted dictionary."""
+
+    def __init__(self, values: Sequence[Optional[str]]) -> None:
+        self.n_rows = len(values)
+        distinct = sorted({v for v in values if v is not None})
+        self._dictionary: list[str] = distinct
+        code_of = {v: i for i, v in enumerate(distinct)}
+        self._codes = np.fromiter(
+            (NULL_CODE if v is None else code_of[v] for v in values),
+            dtype=np.int32,
+            count=self.n_rows,
+        )
+
+    @property
+    def dictionary(self) -> list[str]:
+        return list(self._dictionary)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._dictionary)
+
+    def code_for(self, value: str) -> Optional[int]:
+        """Exact-match code, or None when the value is not in this CU."""
+        i = bisect.bisect_left(self._dictionary, value)
+        if i < len(self._dictionary) and self._dictionary[i] == value:
+            return i
+        return None
+
+    def get(self, i: int) -> object:
+        code = self._codes[i]
+        return None if code == NULL_CODE else self._dictionary[code]
+
+    def eq_mask(self, value: object) -> np.ndarray:
+        if value is None or not isinstance(value, str):
+            return np.zeros(self.n_rows, dtype=bool)
+        code = self.code_for(value)
+        if code is None:
+            return np.zeros(self.n_rows, dtype=bool)
+        return self._codes == code
+
+    def range_mask(self, lo=None, hi=None, lo_inclusive=True, hi_inclusive=True):
+        return _range_mask_over_codes(
+            self._codes, self._dictionary, lo, hi, lo_inclusive, hi_inclusive
+        )
+
+    def null_mask(self) -> np.ndarray:
+        return self._codes == NULL_CODE
+
+    @property
+    def min_value(self):
+        return self._dictionary[0] if self._dictionary else None
+
+    @property
+    def max_value(self):
+        return self._dictionary[-1] if self._dictionary else None
+
+    @property
+    def memory_bytes(self) -> int:
+        dict_bytes = sum(len(v) for v in self._dictionary) + 8 * len(self._dictionary)
+        return int(self._codes.nbytes) + dict_bytes
+
+
+class RunLengthCU(ColumnCU):
+    """Run-length envelope over a dictionary CU.
+
+    Stores (run start offsets, run codes); decodes lazily to a full code
+    vector for mask evaluation (cached), so it trades memory for a one-time
+    decode cost, like Oracle's RLE within IMCU pieces.
+    """
+
+    def __init__(self, base: DictionaryCU) -> None:
+        codes = base._codes
+        self.n_rows = base.n_rows
+        self._dictionary = base._dictionary
+        if self.n_rows:
+            change = np.flatnonzero(np.diff(codes)) + 1
+            starts = np.concatenate(([0], change)).astype(np.int64)
+        else:
+            starts = np.zeros(0, dtype=np.int64)
+        self._run_starts = starts
+        self._run_codes = codes[starts] if self.n_rows else codes
+        self._decoded: Optional[np.ndarray] = None
+        self._base_for_lookup = base  # reuse dictionary search helpers
+
+    @property
+    def n_runs(self) -> int:
+        return len(self._run_starts)
+
+    def _codes_vector(self) -> np.ndarray:
+        if self._decoded is None:
+            lengths = np.diff(
+                np.concatenate((self._run_starts, [self.n_rows]))
+            )
+            self._decoded = np.repeat(self._run_codes, lengths).astype(np.int32)
+        return self._decoded
+
+    def get(self, i: int) -> object:
+        idx = int(np.searchsorted(self._run_starts, i, side="right")) - 1
+        code = self._run_codes[idx]
+        return None if code == NULL_CODE else self._dictionary[code]
+
+    def eq_mask(self, value: object) -> np.ndarray:
+        if value is None or not isinstance(value, str):
+            return np.zeros(self.n_rows, dtype=bool)
+        code = self._base_for_lookup.code_for(value)
+        if code is None:
+            return np.zeros(self.n_rows, dtype=bool)
+        return self._codes_vector() == code
+
+    def range_mask(self, lo=None, hi=None, lo_inclusive=True, hi_inclusive=True):
+        return _range_mask_over_codes(
+            self._codes_vector(), self._dictionary,
+            lo, hi, lo_inclusive, hi_inclusive,
+        )
+
+    def null_mask(self) -> np.ndarray:
+        return self._codes_vector() == NULL_CODE
+
+    @property
+    def min_value(self):
+        return self._dictionary[0] if self._dictionary else None
+
+    @property
+    def max_value(self):
+        return self._dictionary[-1] if self._dictionary else None
+
+    @property
+    def memory_bytes(self) -> int:
+        dict_bytes = sum(len(v) for v in self._dictionary) + 8 * len(self._dictionary)
+        return int(self._run_starts.nbytes + self._run_codes.nbytes) + dict_bytes
+
+
+def _range_mask_over_codes(
+    codes: np.ndarray,
+    dictionary: list[str],
+    lo,
+    hi,
+    lo_inclusive: bool,
+    hi_inclusive: bool,
+) -> np.ndarray:
+    """Range predicate over order-preserving dictionary codes.
+
+    Because the dictionary is sorted, a value range maps to a contiguous
+    code range, and the comparison runs on the int32 code vector.
+    """
+    lo_code = 0
+    hi_code = len(dictionary) - 1
+    if lo is not None:
+        lo_code = (
+            bisect.bisect_left(dictionary, lo)
+            if lo_inclusive
+            else bisect.bisect_right(dictionary, lo)
+        )
+    if hi is not None:
+        hi_code = (
+            bisect.bisect_right(dictionary, hi) - 1
+            if hi_inclusive
+            else bisect.bisect_left(dictionary, hi) - 1
+        )
+    mask = (codes >= lo_code) & (codes <= hi_code)
+    mask &= codes != NULL_CODE
+    return mask
+
+
+def encode_column(values: Sequence, is_numeric: bool) -> ColumnCU:
+    """Pick an encoding for one column of one IMCU.
+
+    NUMBER columns always use the numeric vector.  VARCHAR2 columns use
+    dictionary encoding, upgraded to RLE when the average run length makes
+    it profitable.
+    """
+    if is_numeric:
+        return NumericCU(values)
+    base = DictionaryCU(values)
+    if base.n_rows:
+        rle = RunLengthCU(base)
+        if base.n_rows / max(rle.n_runs, 1) >= RLE_MIN_AVG_RUN:
+            return rle
+    return base
+
+# ----------------------------------------------------------------------
+# join-group support (see repro.imcs.join_groups)
+# ----------------------------------------------------------------------
+class GlobalDictionary:
+    """Append-only shared dictionary: value <-> code, stable forever."""
+
+    def __init__(self) -> None:
+        self._values: list[str] = []
+        self._code_of: dict[str, int] = {}
+
+    def encode(self, value: str) -> int:
+        """Code for ``value``, assigning a fresh one if unseen."""
+        code = self._code_of.get(value)
+        if code is None:
+            code = len(self._values)
+            self._values.append(value)
+            self._code_of[value] = code
+        return code
+
+    def lookup(self, value: str) -> Optional[int]:
+        """Code for ``value`` or None -- never assigns."""
+        return self._code_of.get(value)
+
+    def decode(self, code: int) -> str:
+        return self._values[code]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class SharedDictionaryCU(ColumnCU):
+    """A VARCHAR2 CU encoded against a join group's global dictionary.
+
+    Codes are assignment-ordered (not value-ordered), so range predicates
+    scan the dictionary for qualifying codes instead of comparing code
+    ranges; equality stays a single vectorised compare.
+    """
+
+    def __init__(self, values: Sequence[Optional[str]], dictionary: GlobalDictionary) -> None:
+        self.n_rows = len(values)
+        self.dictionary = dictionary
+        self._codes = np.fromiter(
+            (
+                NULL_CODE if v is None else dictionary.encode(v)
+                for v in values
+            ),
+            dtype=np.int64,
+            count=self.n_rows,
+        )
+        present = [v for v in values if v is not None]
+        self._min = min(present) if present else None
+        self._max = max(present) if present else None
+
+    @property
+    def codes(self) -> np.ndarray:
+        return self._codes
+
+    def get(self, i: int) -> object:
+        code = self._codes[i]
+        return None if code == NULL_CODE else self.dictionary.decode(int(code))
+
+    def eq_mask(self, value: object) -> np.ndarray:
+        if not isinstance(value, str):
+            return np.zeros(self.n_rows, dtype=bool)
+        code = self.dictionary.lookup(value)
+        if code is None:
+            return np.zeros(self.n_rows, dtype=bool)
+        return self._codes == code
+
+    def range_mask(self, lo=None, hi=None, lo_inclusive=True, hi_inclusive=True):
+        def qualifies(value: str) -> bool:
+            if lo is not None:
+                if lo_inclusive and value < lo:
+                    return False
+                if not lo_inclusive and value <= lo:
+                    return False
+            if hi is not None:
+                if hi_inclusive and value > hi:
+                    return False
+                if not hi_inclusive and value >= hi:
+                    return False
+            return True
+
+        wanted = np.fromiter(
+            (
+                code
+                for code in range(len(self.dictionary))
+                if qualifies(self.dictionary.decode(code))
+            ),
+            dtype=np.int64,
+        )
+        mask = np.isin(self._codes, wanted)
+        mask &= self._codes != NULL_CODE
+        return mask
+
+    def null_mask(self) -> np.ndarray:
+        return self._codes == NULL_CODE
+
+    @property
+    def min_value(self):
+        return self._min
+
+    @property
+    def max_value(self):
+        return self._max
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._codes.nbytes)  # the dictionary is shared

@@ -1,0 +1,216 @@
+"""In-Memory Columnar Units.
+
+An IMCU is a *read-only* columnar snapshot of a DBA range of one segment,
+taken at a snapshot SCN under Oracle's Consistent Read model (paper, II-B:
+"Population establishes a snapshot SCN for each IMCU, and the IMCU is
+loaded with data consistent as of the snapshot SCN").  Once built it never
+changes; staleness is tracked next to it in the SMU and fixed by
+repopulation (building a replacement IMCU at a newer snapshot).
+
+Besides the column CUs, an IMCU keeps:
+
+* ``rowids`` -- the physical address of each captured row, for rowid
+  projection and for mapping invalidation records to row positions;
+* ``captured_slots`` -- per covered block, how many slots existed at the
+  snapshot; rows appended later live only in the row store until
+  repopulation widens the IMCU ("edge" rows, the effect that limits the
+  gain in the paper's update+insert experiment, Fig. 10);
+* per-column min/max (the in-memory storage index used for pruning).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.common.ids import DBA, ObjectId, RowId, TenantId
+from repro.common.scn import SCN
+from repro.imcs.compression import (
+    ColumnCU,
+    GlobalDictionary,
+    SharedDictionaryCU,
+    encode_column,
+)
+from repro.imcs.expressions import Expression
+from repro.rowstore.cr import TransactionView, visible_version
+from repro.rowstore.segment import Segment
+from repro.rowstore.values import ColumnType, Schema
+
+
+class IMCU:
+    """One read-only columnar unit."""
+
+    _next_id = 1
+
+    def __init__(
+        self,
+        object_id: ObjectId,
+        tenant: TenantId,
+        snapshot_scn: SCN,
+        rowids: list[RowId],
+        captured_slots: dict[DBA, int],
+        columns: dict[str, ColumnCU],
+    ) -> None:
+        self.imcu_id = IMCU._next_id
+        IMCU._next_id += 1
+        self.object_id = object_id
+        self.tenant = tenant
+        self.snapshot_scn = snapshot_scn
+        self.rowids = rowids
+        self.captured_slots = captured_slots
+        self._columns = columns
+        self._row_position: dict[RowId, int] = {
+            rowid: i for i, rowid in enumerate(rowids)
+        }
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        segment: Segment,
+        schema: Schema,
+        tenant: TenantId,
+        dbas: Sequence[DBA],
+        snapshot_scn: SCN,
+        txns: TransactionView,
+        inmemory_columns: Optional[list[str]] = None,
+        expressions: Optional[Sequence[Expression]] = None,
+        join_dictionaries: Optional[dict[str, GlobalDictionary]] = None,
+    ) -> "IMCU":
+        """Populate an IMCU for ``dbas`` at ``snapshot_scn``.
+
+        Reads every covered row through Consistent Read, so concurrent
+        transactions and not-yet-committed changes are excluded exactly as
+        they would be for a query at the snapshot.
+        """
+        column_names = (
+            inmemory_columns
+            if inmemory_columns is not None
+            else [c.name for c in schema.live_columns]
+        )
+        rowids: list[RowId] = []
+        captured_slots: dict[DBA, int] = {}
+        raw_columns: dict[str, list] = {name: [] for name in column_names}
+        indices = {name: schema.column_index(name) for name in column_names}
+        expressions = list(expressions or [])
+        captured_rows: list[tuple] = []  # retained for expression eval
+        store = segment._store  # segments and IMCUs share the block store
+        for dba in dbas:
+            block = store.get_optional(dba)
+            if block is None:
+                captured_slots[dba] = 0
+                continue
+            # Capture the prefix of *settled* slots: a slot is settled when
+            # something is visible at the snapshot -- a row or a committed
+            # tombstone.  A slot whose chain is empty (apply gap) or whose
+            # only content is not yet visible (insert uncommitted at the
+            # snapshot, or committed beyond it) ends the prefix: that slot
+            # and everything after it stay row-store-only ("edge" rows)
+            # until repopulation, otherwise their rows would be lost --
+            # the SMU cannot invalidate rows the IMCU never captured.
+            captured = 0
+            for slot, chain in block.chains():
+                version = visible_version(chain, snapshot_scn, txns)
+                if version is None:
+                    break
+                captured += 1
+                if version.is_delete:
+                    continue
+                values = version.values
+                assert values is not None
+                rowids.append(RowId(dba, slot))
+                for name in column_names:
+                    raw_columns[name].append(values[indices[name]])
+                if expressions:
+                    captured_rows.append(values)
+            captured_slots[dba] = captured
+        join_dictionaries = join_dictionaries or {}
+        columns = {}
+        for name in column_names:
+            shared = join_dictionaries.get(name)
+            if shared is not None:
+                columns[name] = SharedDictionaryCU(raw_columns[name], shared)
+            else:
+                columns[name] = encode_column(
+                    raw_columns[name],
+                    schema.column(name).ctype is ColumnType.NUMBER,
+                )
+        for expression in expressions:
+            materialised = [
+                expression.evaluate(values, schema)
+                for values in captured_rows
+            ]
+            columns[expression.name] = encode_column(
+                materialised, expression.is_numeric
+            )
+        return cls(
+            segment.object_id, tenant, snapshot_scn,
+            rowids, captured_slots, columns,
+        )
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self.rowids)
+
+    @property
+    def covered_dbas(self) -> list[DBA]:
+        return list(self.captured_slots)
+
+    def covers_dba(self, dba: DBA) -> bool:
+        return dba in self.captured_slots
+
+    def position_of(self, rowid: RowId) -> Optional[int]:
+        """Row position of a physical address, or None if not captured."""
+        return self._row_position.get(rowid)
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> ColumnCU:
+        return self._columns[name]
+
+    @property
+    def memory_bytes(self) -> int:
+        payload = sum(cu.memory_bytes for cu in self._columns.values())
+        rowid_bytes = 16 * self.n_rows
+        return payload + rowid_bytes
+
+    # ------------------------------------------------------------------
+    # storage index
+    # ------------------------------------------------------------------
+    def prune_range(self, name: str, lo, hi) -> bool:
+        """True if the storage index proves no row can match lo<=v<=hi."""
+        cu = self._columns.get(name)
+        if cu is None or cu.min_value is None:
+            return cu is not None  # all-NULL column can never match
+        if lo is not None and cu.max_value < lo:
+            return True
+        if hi is not None and cu.min_value > hi:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # projection
+    # ------------------------------------------------------------------
+    def project_rows(
+        self, positions: np.ndarray, names: list[str]
+    ) -> list[tuple]:
+        """Materialise tuples for the given row positions."""
+        cus = [self._columns[n] for n in names]
+        return [tuple(cu.get(int(i)) for cu in cus) for i in positions]
+
+    def __repr__(self) -> str:
+        return (
+            f"IMCU(id={self.imcu_id}, obj={self.object_id}, "
+            f"rows={self.n_rows}, scn={self.snapshot_scn})"
+        )

@@ -1,0 +1,144 @@
+"""Snapshot Metadata Units.
+
+"A Snapshot Metadata Unit (SMU) accompanies each IMCU and tracks the
+validity of the data populated in its corresponding IMCU at various levels
+of granularity -- block level, row level and column level" (paper, II-B).
+The scan engine reconciles the IMCU against its SMU: invalid rows are
+served from the row store instead.
+
+SMUs also provide the concurrency control that synchronises scans,
+repopulation and drop: a scan pins the SMU; repopulation swaps in a fresh
+IMCU only between scans; drop marks the unit unusable.
+
+Invalidation is *monotone*: marking extra rows invalid is always safe
+(costs row-store fallback), while missing one would break consistency --
+the central invariant the DBIM-on-ADG machinery maintains on the standby.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import InvalidStateError
+from repro.common.ids import DBA, RowId
+from repro.common.scn import NULL_SCN, SCN
+from repro.imcs.imcu import IMCU
+
+
+class SMU:
+    """Validity metadata + concurrency control for one IMCU."""
+
+    def __init__(self, imcu: IMCU) -> None:
+        self.imcu = imcu
+        self._invalid_rows = np.zeros(imcu.n_rows, dtype=bool)
+        self._invalid_blocks: set[DBA] = set()
+        #: Columns dropped since population (column-level validity).
+        self._invalid_columns: set[str] = set()
+        #: Highest SCN at which an invalidation was recorded; repopulation
+        #: uses it to pick a snapshot that covers everything invalidated.
+        self.last_invalidation_scn: SCN = NULL_SCN
+        #: Set when the whole IMCU is unusable (coarse invalidation or a
+        #: schema change); scans must fall back to the row store entirely.
+        self.fully_invalid = False
+        #: Drop state: a dropped unit is never scanned or repopulated.
+        self.dropped = False
+        #: Scan pin count (concurrency control between scans and drop).
+        self._pins = 0
+        #: Repopulation bookkeeping.
+        self.repopulating = False
+        self.last_repopulated_at: float = -1.0
+
+    # ------------------------------------------------------------------
+    # invalidation (called under the owner store's latch discipline)
+    # ------------------------------------------------------------------
+    def invalidate_row(self, rowid: RowId, scn: SCN) -> bool:
+        """Mark one row invalid.  Rows not captured by the IMCU (inserted
+        after its snapshot) are already row-store-only; marking their block
+        as having extra rows is handled via ``captured_slots`` at scan
+        time, so they are ignored here.  Returns True if state changed."""
+        self._touch(scn)
+        position = self.imcu.position_of(rowid)
+        if position is None:
+            return False
+        if self._invalid_rows[position]:
+            return False
+        self._invalid_rows[position] = True
+        return True
+
+    def invalidate_block(self, dba: DBA, scn: SCN) -> None:
+        """Block-level invalidation: every captured row of ``dba``."""
+        self._touch(scn)
+        self._invalid_blocks.add(dba)
+
+    def invalidate_fully(self, scn: SCN) -> None:
+        """Coarse invalidation (paper, III-E): the IMCU cannot be used
+        until repopulated."""
+        self._touch(scn)
+        self.fully_invalid = True
+
+    def invalidate_column(self, name: str, scn: SCN) -> None:
+        self._touch(scn)
+        self._invalid_columns.add(name)
+
+    def _touch(self, scn: SCN) -> None:
+        if scn > self.last_invalidation_scn:
+            self.last_invalidation_scn = scn
+
+    # ------------------------------------------------------------------
+    # scan-side reconciliation
+    # ------------------------------------------------------------------
+    def is_column_valid(self, name: str) -> bool:
+        return name not in self._invalid_columns
+
+    def valid_row_mask(self) -> np.ndarray:
+        """Boolean mask over IMCU row positions: True = IMCU data usable."""
+        if self.fully_invalid or self.dropped:
+            return np.zeros(self.imcu.n_rows, dtype=bool)
+        mask = ~self._invalid_rows
+        if self._invalid_blocks:
+            for position, rowid in enumerate(self.imcu.rowids):
+                if rowid.dba in self._invalid_blocks:
+                    mask[position] = False
+        return mask
+
+    @property
+    def invalid_count(self) -> int:
+        if self.fully_invalid:
+            return self.imcu.n_rows
+        if not self._invalid_blocks:
+            return int(self._invalid_rows.sum())
+        return int((~self.valid_row_mask()).sum())
+
+    @property
+    def invalid_fraction(self) -> float:
+        if self.imcu.n_rows == 0:
+            return 1.0 if self.fully_invalid else 0.0
+        return self.invalid_count / self.imcu.n_rows
+
+    # ------------------------------------------------------------------
+    # concurrency control (pins for scans, states for repopulate/drop)
+    # ------------------------------------------------------------------
+    def pin(self) -> None:
+        if self.dropped:
+            raise InvalidStateError("cannot pin a dropped SMU")
+        self._pins += 1
+
+    def unpin(self) -> None:
+        if self._pins <= 0:
+            raise InvalidStateError("unpin without pin")
+        self._pins -= 1
+
+    @property
+    def pinned(self) -> bool:
+        return self._pins > 0
+
+    def mark_dropped(self) -> None:
+        if self.pinned:
+            raise InvalidStateError("cannot drop a pinned SMU")
+        self.dropped = True
+
+    def __repr__(self) -> str:
+        return (
+            f"SMU(imcu={self.imcu.imcu_id}, invalid={self.invalid_count}/"
+            f"{self.imcu.n_rows}, full={self.fully_invalid})"
+        )

@@ -1,0 +1,298 @@
+"""The In-Memory Column Store: pool, registry and invalidation routing.
+
+One :class:`InMemoryColumnStore` exists per database instance.  Objects
+(table partitions) are *enabled* for in-memory, then background population
+builds IMCU/SMU pairs covering their DBA ranges (see ``population.py``).
+
+A critical interlock lives here.  Population and invalidation run
+concurrently, so an invalidation can arrive for a DBA range whose IMCU is
+still being built (the paper, III-B: "it is possible that the relevant SMU
+has not been created yet").  Invalidations that find no SMU are parked in a
+per-object *pending* list; when a unit registers, pending records newer
+than its snapshot SCN are applied to the fresh SMU before it becomes
+scannable.  Records at or below the snapshot are already reflected in the
+IMCU's data (population reads through Consistent Read) -- applying only the
+newer ones keeps invalidation minimal, and applying too many would still be
+safe (invalidation is monotone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.common.errors import NotInMemoryError
+from repro.common.ids import DBA, ObjectId, RowId, TenantId
+from repro.common.scn import SCN
+from repro.imcs.compression import GlobalDictionary
+from repro.imcs.expressions import Expression, ExpressionSet
+from repro.imcs.imcu import IMCU
+from repro.imcs.smu import SMU
+from repro.rowstore.table import Partition, Table
+
+
+@dataclass(slots=True)
+class _PendingInvalidation:
+    dba: DBA
+    slots: tuple[int, ...]  # empty tuple = whole block
+    scn: SCN
+
+
+@dataclass(slots=True)
+class InMemorySegment:
+    """In-memory enablement metadata for one object (table partition)."""
+
+    table: Table
+    partition: Partition
+    inmemory_columns: Optional[list[str]] = None
+    priority: int = 0
+    units: list[SMU] = field(default_factory=list)
+    dba_to_unit: dict[DBA, SMU] = field(default_factory=dict)
+    pending: list[_PendingInvalidation] = field(default_factory=list)
+    #: In-Memory Expressions materialised into this object's IMCUs.
+    expressions: ExpressionSet = field(default_factory=ExpressionSet)
+    #: Join-group shared dictionaries, per member column.
+    join_dictionaries: dict[str, GlobalDictionary] = field(default_factory=dict)
+
+    @property
+    def object_id(self) -> ObjectId:
+        return self.partition.object_id
+
+    @property
+    def tenant(self) -> TenantId:
+        return self.table.tenant
+
+    def live_units(self) -> list[SMU]:
+        return [smu for smu in self.units if not smu.dropped]
+
+
+class InMemoryColumnStore:
+    """Registry of enabled objects and their IMCU/SMU pairs."""
+
+    def __init__(self, pool_size_bytes: Optional[int] = None) -> None:
+        self.pool_size_bytes = pool_size_bytes
+        self._segments: dict[ObjectId, InMemorySegment] = {}
+        # statistics
+        self.rows_invalidated = 0
+        self.coarse_invalidations = 0
+
+    # ------------------------------------------------------------------
+    # enablement
+    # ------------------------------------------------------------------
+    def enable(
+        self,
+        table: Table,
+        partition_name: Optional[str] = None,
+        columns: Optional[list[str]] = None,
+        priority: int = 0,
+    ) -> InMemorySegment:
+        """Enable one partition (or every partition) for in-memory."""
+        names = (
+            [partition_name] if partition_name is not None
+            else list(table.partitions)
+        )
+        segment = None
+        for name in names:
+            partition = table.partition(name)
+            segment = InMemorySegment(
+                table=table,
+                partition=partition,
+                inmemory_columns=columns,
+                priority=priority,
+            )
+            self._segments[partition.object_id] = segment
+        assert segment is not None
+        return segment
+
+    def add_expression(
+        self, object_id: ObjectId, expression: Expression
+    ) -> None:
+        """Register an In-Memory Expression for one object.
+
+        Existing IMCUs lack the materialised column, so they are dropped;
+        repopulation rebuilds them with the expression included.
+        """
+        segment = self.segment(object_id)
+        segment.expressions.add(expression)
+        self.drop_units(object_id)
+
+    def set_join_dictionary(
+        self, object_id: ObjectId, column: str, dictionary: GlobalDictionary
+    ) -> None:
+        """Encode ``column`` against a join group's shared dictionary.
+
+        Existing IMCUs use per-unit dictionaries, so they are dropped;
+        repopulation rebuilds them against the shared dictionary.
+        """
+        segment = self.segment(object_id)
+        segment.join_dictionaries[column] = dictionary
+        self.drop_units(object_id)
+
+    def disable(self, object_id: ObjectId) -> None:
+        """ALTER ... NO INMEMORY: drop units and forget the object."""
+        self.drop_units(object_id)
+        self._segments.pop(object_id, None)
+
+    def is_enabled(self, object_id: ObjectId) -> bool:
+        return object_id in self._segments
+
+    @property
+    def enabled_object_ids(self) -> set[ObjectId]:
+        return set(self._segments)
+
+    def segment(self, object_id: ObjectId) -> InMemorySegment:
+        try:
+            return self._segments[object_id]
+        except KeyError:
+            raise NotInMemoryError(f"object {object_id} is not in-memory")
+
+    def segments(self) -> Iterator[InMemorySegment]:
+        return iter(list(self._segments.values()))
+
+    # ------------------------------------------------------------------
+    # unit registration / replacement (population, repopulation)
+    # ------------------------------------------------------------------
+    def register_unit(self, imcu: IMCU) -> SMU:
+        """Install a freshly built IMCU; returns its new SMU.
+
+        Applies pending invalidations newer than the IMCU's snapshot, then
+        indexes its DBA coverage (replacing any older unit over the same
+        range -- repopulation swap).
+        """
+        segment = self.segment(imcu.object_id)
+        smu = SMU(imcu)
+        still_pending = []
+        for record in segment.pending:
+            if not imcu.covers_dba(record.dba):
+                still_pending.append(record)
+                continue
+            if record.scn > imcu.snapshot_scn:
+                self._apply_to_smu(smu, record.dba, record.slots, record.scn)
+            # covered + older than snapshot: already in the IMCU's data
+        segment.pending = still_pending
+
+        replaced: set[int] = set()
+        for dba in imcu.covered_dbas:
+            old = segment.dba_to_unit.get(dba)
+            if old is not None and id(old) not in replaced:
+                replaced.add(id(old))
+            segment.dba_to_unit[dba] = smu
+        if replaced:
+            segment.units = [
+                unit for unit in segment.units if id(unit) not in replaced
+            ]
+        segment.units.append(smu)
+        return smu
+
+    def drop_units(self, object_id: ObjectId) -> int:
+        """Drop every unit of an object (DDL response).  Pinned SMUs are
+        marked fully invalid instead (scans in flight fall back)."""
+        segment = self._segments.get(object_id)
+        if segment is None:
+            return 0
+        dropped = 0
+        for smu in segment.units:
+            if smu.pinned:
+                smu.invalidate_fully(smu.last_invalidation_scn)
+            else:
+                smu.mark_dropped()
+            dropped += 1
+        segment.units = []
+        segment.dba_to_unit = {}
+        segment.pending = []
+        return dropped
+
+    # ------------------------------------------------------------------
+    # invalidation routing
+    # ------------------------------------------------------------------
+    def unit_covering(self, object_id: ObjectId, dba: DBA) -> Optional[SMU]:
+        segment = self._segments.get(object_id)
+        if segment is None:
+            return None
+        smu = segment.dba_to_unit.get(dba)
+        if smu is not None and smu.dropped:
+            return None
+        return smu
+
+    def invalidate(
+        self,
+        object_id: ObjectId,
+        dba: DBA,
+        slots: tuple[int, ...],
+        scn: SCN,
+    ) -> None:
+        """Mark rows (or, with empty ``slots``, a whole block) invalid.
+
+        If the covering unit does not exist yet the record is parked in the
+        object's pending list (see module docstring).
+        """
+        segment = self._segments.get(object_id)
+        if segment is None:
+            return  # not enabled here: nothing to maintain
+        smu = segment.dba_to_unit.get(dba)
+        if smu is None or smu.dropped:
+            segment.pending.append(_PendingInvalidation(dba, slots, scn))
+            return
+        self._apply_to_smu(smu, dba, slots, scn)
+
+    def _apply_to_smu(
+        self, smu: SMU, dba: DBA, slots: tuple[int, ...], scn: SCN
+    ) -> None:
+        if not slots:
+            smu.invalidate_block(dba, scn)
+            self.rows_invalidated += 1
+            return
+        for slot in slots:
+            if smu.invalidate_row(RowId(dba, slot), scn):
+                self.rows_invalidated += 1
+
+    def invalidate_object(self, object_id: ObjectId, scn: SCN) -> None:
+        segment = self._segments.get(object_id)
+        if segment is None:
+            return
+        for smu in segment.live_units():
+            smu.invalidate_fully(scn)
+        self.coarse_invalidations += 1
+
+    def invalidate_tenant(self, tenant: TenantId, scn: SCN) -> int:
+        """Coarse invalidation (paper, III-E): every IMCU of a tenant."""
+        touched = 0
+        for segment in self._segments.values():
+            if segment.tenant != tenant:
+                continue
+            for smu in segment.live_units():
+                smu.invalidate_fully(scn)
+                touched += 1
+        if touched:
+            self.coarse_invalidations += 1
+        return touched
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(
+            smu.imcu.memory_bytes
+            for segment in self._segments.values()
+            for smu in segment.live_units()
+        )
+
+    def has_capacity_for(self, extra_bytes: int) -> bool:
+        if self.pool_size_bytes is None:
+            return True
+        return self.used_bytes + extra_bytes <= self.pool_size_bytes
+
+    @property
+    def populated_rows(self) -> int:
+        return sum(
+            smu.imcu.n_rows
+            for segment in self._segments.values()
+            for smu in segment.live_units()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InMemoryColumnStore(objects={len(self._segments)}, "
+            f"rows={self.populated_rows}, bytes={self.used_bytes})"
+        )

@@ -1,0 +1,13 @@
+"""Measurement and reporting utilities for the benchmark harness."""
+
+from repro.metrics.stats import LatencySeries, TimeSeries, percentile
+from repro.metrics.render import render_figure, render_table, speedup
+
+__all__ = [
+    "LatencySeries",
+    "TimeSeries",
+    "percentile",
+    "render_figure",
+    "render_table",
+    "speedup",
+]

@@ -1,0 +1,110 @@
+"""Latency and time-series statistics.
+
+The paper reports query response times as median / average / 95th
+percentile (Figs. 9-10, Table 2) and log advancement as time series
+(Fig. 11); these two small classes capture exactly those shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100])."""
+    if not values:
+        raise ValueError("no values")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+class LatencySeries:
+    """Accumulates response-time samples for one query."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        self.samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def median(self) -> float:
+        return percentile(self.samples, 50)
+
+    @property
+    def average(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def p95(self) -> float:
+        return percentile(self.samples, 95)
+
+    def summary(self) -> dict[str, float]:
+        """The paper's triple: median / average / 95th percentile."""
+        return {
+            "median": self.median,
+            "average": self.average,
+            "p95": self.p95,
+        }
+
+    def __repr__(self) -> str:
+        if not self.samples:
+            return f"LatencySeries({self.name!r}, empty)"
+        return (
+            f"LatencySeries({self.name!r}, n={len(self.samples)}, "
+            f"median={self.median:.6f})"
+        )
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. log SCN advancement over time."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.points: list[tuple[float, float]] = []
+
+    def record(self, t: float, value: float) -> None:
+        self.points.append((t, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def times(self) -> list[float]:
+        return [t for t, __ in self.points]
+
+    @property
+    def values(self) -> list[float]:
+        return [v for __, v in self.points]
+
+    def value_at(self, t: float) -> float:
+        """Step-interpolated value at time ``t``."""
+        if not self.points:
+            raise ValueError("empty series")
+        result = self.points[0][1]
+        for point_t, value in self.points:
+            if point_t > t:
+                break
+            result = value
+        return result
+
+    def max_gap_to(self, other: "TimeSeries") -> float:
+        """Max over sample times of (self - other): peak lag metric."""
+        return max(
+            value - other.value_at(t) for t, value in self.points
+        )

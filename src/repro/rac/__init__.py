@@ -1,0 +1,45 @@
+"""Oracle RAC support (paper, section III-F).
+
+The primary side of RAC (multiple instances, one redo thread each, shared
+SCN clock) lives in :mod:`repro.db.primary`.  This package adds the standby
+side under **SIRA** (Single Instance Redo Apply):
+
+* only the *master* standby instance runs the merger, recovery workers,
+  recovery coordinator, IM-ADG Journal and Commit Table;
+* IMCUs are distributed across instances by the **home-location map**
+  (hashing scheme over object/block ranges, after [Mukherjee et al.,
+  VLDB'15]);
+* during QuerySCN advancement the master's flush component routes
+  invalidation groups for remotely-homed IMCUs over the **interconnect**
+  -- with batching and pipelined transmission -- to the **local recovery
+  coordinator** on each non-master instance, which flushes them into its
+  SMUs and acknowledges;
+* the master publishes the new QuerySCN only after every acknowledgement,
+  then pushes the published value to the satellites' local coordinators.
+"""
+
+from repro.rac.home_location import HomeLocationMap
+from repro.rac.messaging import Interconnect
+from repro.rac.cluster import (
+    MergedStoreView,
+    RemoteInvalidationRouter,
+    StandbyCluster,
+    StandbySatellite,
+)
+from repro.rac.mira import (
+    MIRAApplyInstance,
+    MIRACoordinator,
+    MIRAStandbyCluster,
+)
+
+__all__ = [
+    "HomeLocationMap",
+    "Interconnect",
+    "MergedStoreView",
+    "RemoteInvalidationRouter",
+    "StandbyCluster",
+    "StandbySatellite",
+    "MIRAApplyInstance",
+    "MIRACoordinator",
+    "MIRAStandbyCluster",
+]

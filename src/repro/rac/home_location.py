@@ -1,0 +1,51 @@
+"""The home-location map: which instance hosts which IMCUs.
+
+"Oracle Database In-Memory scales seamlessly across RAC, with IMCUs
+distributed across the IMCS on multiple Oracle RAC instances based on a
+hashing scheme.  The mapping of IMCUs to instances is stored in a
+home-location map" (paper, III-F).
+
+Our distribution unit is a *block range*: block addresses are bucketed by
+``dba // range_blocks`` and each bucket hashes (together with the object
+id) to one instance.  The map answers both population-time questions
+("should this instance build an IMCU for this chunk?") and flush-time
+questions ("which instance's SMUs need this invalidation group?").
+"""
+
+from __future__ import annotations
+
+from repro.common.ids import DBA, InstanceId, ObjectId
+
+
+class HomeLocationMap:
+    """Deterministic (object, block-range) -> instance mapping."""
+
+    def __init__(
+        self,
+        instances: list[InstanceId],
+        range_blocks: int = 16,
+    ) -> None:
+        if not instances:
+            raise ValueError("need at least one instance")
+        if range_blocks < 1:
+            raise ValueError("range_blocks must be positive")
+        self.instances = list(instances)
+        self.range_blocks = range_blocks
+
+    def instance_for(self, object_id: ObjectId, dba: DBA) -> InstanceId:
+        bucket = (object_id, dba // self.range_blocks)
+        return self.instances[hash(bucket) % len(self.instances)]
+
+    def is_home(
+        self, instance: InstanceId, object_id: ObjectId, dba: DBA
+    ) -> bool:
+        return self.instance_for(object_id, dba) == instance
+
+    def split_by_home(
+        self, object_id: ObjectId, dbas: list[DBA]
+    ) -> dict[InstanceId, list[DBA]]:
+        """Partition a block list by owning instance."""
+        out: dict[InstanceId, list[DBA]] = {}
+        for dba in dbas:
+            out.setdefault(self.instance_for(object_id, dba), []).append(dba)
+        return out

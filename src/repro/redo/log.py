@@ -1,0 +1,87 @@
+"""Per-instance redo logs.
+
+Each primary instance (RAC "thread") owns one :class:`RedoLog`; records are
+appended in nondecreasing SCN order within a thread.  Readers (the shipper,
+or a standby reading archived logs directly) hold independent cursors so
+the log itself has no notion of consumption.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.errors import RedoCorruptionError
+from repro.common.ids import InstanceId
+from repro.common.scn import NULL_SCN, SCN
+from repro.redo.records import RedoRecord
+
+
+class RedoLog:
+    """Append-only redo record sequence for one redo thread."""
+
+    def __init__(self, thread: InstanceId) -> None:
+        self.thread = thread
+        self._records: list[RedoRecord] = []
+        self._last_scn: SCN = NULL_SCN
+
+    def append(self, record: RedoRecord) -> None:
+        if record.thread != self.thread:
+            raise RedoCorruptionError(
+                f"record for thread {record.thread} appended to thread "
+                f"{self.thread}'s log"
+            )
+        if record.scn < self._last_scn:
+            raise RedoCorruptionError(
+                f"out-of-order SCN {record.scn} after {self._last_scn} "
+                f"in thread {self.thread}"
+            )
+        self._records.append(record)
+        self._last_scn = record.scn
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def last_scn(self) -> SCN:
+        """SCN of the newest record (redo generation progress)."""
+        return self._last_scn
+
+    def record_at(self, position: int) -> RedoRecord:
+        return self._records[position]
+
+    def records_from(self, position: int) -> Iterator[RedoRecord]:
+        for i in range(position, len(self._records)):
+            yield self._records[i]
+
+    def reader(self, start: int = 0) -> "LogReader":
+        return LogReader(self, start)
+
+
+class LogReader:
+    """A cursor over one redo log."""
+
+    def __init__(self, log: RedoLog, start: int = 0) -> None:
+        self._log = log
+        self.position = start
+
+    @property
+    def thread(self) -> InstanceId:
+        return self._log.thread
+
+    def has_next(self) -> bool:
+        return self.position < len(self._log)
+
+    def peek(self) -> RedoRecord:
+        return self._log.record_at(self.position)
+
+    def next(self) -> RedoRecord:
+        record = self._log.record_at(self.position)
+        self.position += 1
+        return record
+
+    def take(self, n: int) -> list[RedoRecord]:
+        """Read up to ``n`` records."""
+        out = []
+        while self.has_next() and len(out) < n:
+            out.append(self.next())
+        return out

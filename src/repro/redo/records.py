@@ -1,0 +1,179 @@
+"""Redo records and change vectors.
+
+Vocabulary (paper, section II-A):
+
+* A **redo record** is stamped with one SCN -- "all CVs in a redo record
+  are considered to have been generated at the same SCN".
+* A **change vector (CV)** applies to exactly one database block,
+  identified by its DBA, and is tagged with a transaction id.
+* A transaction's **commit record** is a CV applied to a special block; its
+  SCN is the transaction's commitSCN.  Per section III-E the primary may
+  annotate it with a flag saying whether the transaction modified any
+  object enabled for IMCS population ("specialized redo generation").
+* **Redo markers** (section III-G) describe changes to non-persistent
+  objects (the IMCUs) in response to DDL; they are mined, never applied to
+  data blocks.
+
+Transaction control CVs target per-instance transaction-table blocks and
+DDL markers target reserved marker DBAs; both DBA ranges are negative so
+they can never collide with heap blocks allocated by the block store, yet
+they still hash to apply workers like any other DBA (so control CVs ride
+the normal parallel-apply paths, as in the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.common.ids import DBA, InstanceId, ObjectId, TenantId, TransactionId
+from repro.common.scn import SCN
+
+
+def txn_table_dba(instance: InstanceId) -> DBA:
+    """The transaction-table block for one primary instance."""
+    return -instance
+
+
+def ddl_marker_dba(object_id: ObjectId) -> DBA:
+    """The reserved marker DBA for DDL against one object."""
+    return -100_000 - object_id
+
+
+def truncate_dba(object_id: ObjectId) -> DBA:
+    """The reserved DBA for a segment-level TRUNCATE change vector."""
+    return -200_000 - object_id
+
+
+class CVOp(enum.Enum):
+    """Change vector operation codes."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+    #: Compensating change written by rollback (Oracle: applying undo
+    #: generates redo); physically strips the aborted version at a slot.
+    UNDO = "undo"
+    TXN_BEGIN = "txn_begin"
+    TXN_PREPARE = "txn_prepare"
+    TXN_COMMIT = "txn_commit"
+    TXN_ABORT = "txn_abort"
+    TRUNCATE = "truncate"
+    DDL_MARKER = "ddl_marker"
+    #: Periodic no-op redo written by idle instances so the standby's
+    #: merge watermark keeps moving (see repro.adg.merger).
+    HEARTBEAT = "heartbeat"
+
+
+@dataclass(frozen=True, slots=True)
+class InsertPayload:
+    slot: int
+    values: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class UpdatePayload:
+    slot: int
+    new_values: tuple
+    changed_columns: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class DeletePayload:
+    slot: int
+    old_values: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class UndoPayload:
+    slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class CommitPayload:
+    """Commit record contents.
+
+    ``modifies_imcs`` is the section III-E flag: True when the transaction
+    touched at least one object enabled for population into an IMCS
+    (primary's or standby's).  ``None`` means specialized redo generation is
+    disabled, forcing the standby to be pessimistic.
+    """
+
+    commit_scn: SCN
+    modifies_imcs: Optional[bool] = None
+
+
+@dataclass(frozen=True, slots=True)
+class TruncatePayload:
+    object_id: ObjectId
+
+
+@dataclass(frozen=True, slots=True)
+class DDLMarkerPayload:
+    """Describes a schema change for the mining component.
+
+    ``kind`` is one of 'drop_column', 'truncate', 'drop_table',
+    'create_table', 'alter_no_inmemory'.  ``detail`` carries kind-specific
+    data (e.g. the column name, or a serialised table definition).
+    """
+
+    kind: str
+    object_ids: tuple[ObjectId, ...]
+    table_name: str
+    detail: dict = field(default_factory=dict)
+
+
+Payload = Union[
+    InsertPayload,
+    UpdatePayload,
+    DeletePayload,
+    UndoPayload,
+    CommitPayload,
+    TruncatePayload,
+    DDLMarkerPayload,
+    None,
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeVector:
+    """One change to one block."""
+
+    op: CVOp
+    dba: DBA
+    object_id: ObjectId
+    tenant: TenantId
+    xid: TransactionId
+    payload: Payload = None
+
+    @property
+    def is_control(self) -> bool:
+        """Transaction state-change CVs (begin/prepare/commit/abort)."""
+        return self.op in (
+            CVOp.TXN_BEGIN,
+            CVOp.TXN_PREPARE,
+            CVOp.TXN_COMMIT,
+            CVOp.TXN_ABORT,
+        )
+
+    @property
+    def is_data(self) -> bool:
+        """CVs that modify rows in data blocks."""
+        return self.op in (CVOp.INSERT, CVOp.UPDATE, CVOp.DELETE, CVOp.UNDO)
+
+
+@dataclass(frozen=True, slots=True)
+class RedoRecord:
+    """An SCN-stamped group of change vectors from one redo thread."""
+
+    scn: SCN
+    thread: InstanceId
+    cvs: tuple[ChangeVector, ...]
+
+    def __post_init__(self) -> None:
+        if not self.cvs:
+            raise ValueError("a redo record needs at least one change vector")
+
+    def __len__(self) -> int:
+        return len(self.cvs)

@@ -1,0 +1,126 @@
+"""Data blocks: the unit the redo protocol addresses.
+
+Every redo change vector targets exactly one block (by DBA), and the
+parallel apply engine hashes DBAs to recovery workers -- so the block is
+the granularity at which apply-order is guaranteed.  A block holds a fixed
+number of row slots, each with its own version chain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.common.ids import DBA, ObjectId, RowId, TransactionId
+from repro.common.scn import NULL_SCN, SCN
+from repro.rowstore.version import RowVersion, VersionChain
+
+
+class DataBlock:
+    """A heap block: ``capacity`` row slots, each a version chain."""
+
+    __slots__ = ("dba", "object_id", "capacity", "_slots", "last_change_scn")
+
+    def __init__(self, dba: DBA, object_id: ObjectId, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("block capacity must be positive")
+        self.dba = dba
+        self.object_id = object_id
+        self.capacity = capacity
+        self._slots: list[VersionChain] = []
+        self.last_change_scn: SCN = NULL_SCN
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def used_slots(self) -> int:
+        return len(self._slots)
+
+    @property
+    def has_free_slot(self) -> bool:
+        return len(self._slots) < self.capacity
+
+    def chain(self, slot: int) -> VersionChain:
+        return self._slots[slot]
+
+    def chains(self) -> Iterator[tuple[int, VersionChain]]:
+        return enumerate(self._slots)
+
+    # -- primary-side mutation ------------------------------------------
+    def append_row(
+        self, values: tuple, xid: TransactionId, scn: SCN
+    ) -> RowId:
+        """Insert into the next free slot (primary-side allocation)."""
+        if not self.has_free_slot:
+            raise RuntimeError(f"block {self.dba} is full")
+        chain = VersionChain()
+        chain.push(RowVersion(values, xid, scn))
+        self._slots.append(chain)
+        self._touch(scn)
+        return RowId(self.dba, len(self._slots) - 1)
+
+    def write_slot(
+        self,
+        slot: int,
+        values: Optional[tuple],
+        xid: TransactionId,
+        scn: SCN,
+    ) -> None:
+        """Push a new version (update, or delete when ``values`` is None)."""
+        self._slots[slot].push(RowVersion(values, xid, scn))
+        self._touch(scn)
+
+    # -- standby-side (physical apply) -----------------------------------
+    def apply_at_slot(
+        self,
+        slot: int,
+        values: Optional[tuple],
+        xid: TransactionId,
+        scn: SCN,
+    ) -> None:
+        """Apply a change vector at an exact slot.
+
+        The standby replays the primary's physical layout: an insert CV names
+        the slot the primary allocated, so intermediate empty chains may need
+        to be materialised (they will be filled by their own CVs, which are
+        guaranteed to arrive at this same worker in SCN order).
+        """
+        while len(self._slots) <= slot:
+            if len(self._slots) >= self.capacity:
+                raise RuntimeError(f"slot {slot} beyond block capacity")
+            self._slots.append(VersionChain())
+        self._slots[slot].push(RowVersion(values, xid, scn))
+        self._touch(scn)
+
+    def undo_write(self, slot: int, xid: TransactionId) -> Optional[RowVersion]:
+        """Strip the newest version at ``slot`` if ``xid`` wrote it.
+
+        One compensating (UNDO) change reverses exactly one original
+        change; returns the stripped version so callers can repair
+        secondary structures (indexes).
+        """
+        if slot >= len(self._slots):
+            return None
+        return self._slots[slot].pop_if(xid)
+
+    def rollback_transaction(self, xid: TransactionId) -> int:
+        """Strip ``xid``'s versions from every slot (abort).  Empty chains
+        left by rolled-back inserts stay as holes, like Oracle's free slots.
+        """
+        return sum(chain.rollback_transaction(xid) for chain in self._slots)
+
+    def wipe(self, scn: SCN) -> None:
+        """Remove all rows (TRUNCATE's block-level effect)."""
+        self._slots = []
+        self._touch(scn)
+
+    def prune_undo(self, keep: int) -> int:
+        return sum(chain.prune(keep) for chain in self._slots)
+
+    def _touch(self, scn: SCN) -> None:
+        if scn > self.last_change_scn:
+            self.last_change_scn = scn
+
+    def __repr__(self) -> str:
+        return (
+            f"DataBlock(dba={self.dba}, obj={self.object_id}, "
+            f"{self.used_slots}/{self.capacity} slots)"
+        )

@@ -1,0 +1,70 @@
+"""Consistent Read: SCN-snapshot visibility over version chains.
+
+Implements Oracle's CR model [Bridge et al., VLDB '97] at row granularity:
+a version is visible at snapshot SCN ``s`` iff its writing transaction
+committed with commitSCN <= ``s`` (or the reader *is* that transaction).
+Commit SCNs are resolved through a :class:`TransactionView`, the minimal
+interface both the primary's transaction manager and the standby's
+recovered transaction table provide.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.common.errors import SnapshotTooOldError
+from repro.common.ids import TransactionId
+from repro.common.scn import SCN
+from repro.rowstore.version import RowVersion, VersionChain
+
+
+class TransactionView(Protocol):
+    """What CR needs to know about transactions."""
+
+    def commit_scn_of(self, xid: TransactionId) -> Optional[SCN]:
+        """CommitSCN of ``xid``, or ``None`` if uncommitted/aborted/unknown."""
+        ...
+
+
+def visible_version(
+    chain: VersionChain,
+    snapshot_scn: SCN,
+    txns: TransactionView,
+    reader_xid: Optional[TransactionId] = None,
+) -> Optional[RowVersion]:
+    """Return the version of this row visible at ``snapshot_scn``.
+
+    Returns ``None`` when the row did not exist at the snapshot (never
+    inserted yet, or the visible version is a delete tombstone -- the caller
+    distinguishes via ``is_delete``; here both mean "no visible version",
+    so tombstones are mapped to ``None`` for scan convenience? No: the
+    tombstone *is* returned, so callers that need to distinguish "deleted"
+    from "beyond retention" can).  Raises :class:`SnapshotTooOldError` when
+    the walk falls off a truncated chain, i.e. the undo needed to
+    reconstruct the row has been discarded.
+    """
+    for version in chain:  # newest to oldest
+        if reader_xid is not None and version.xid == reader_xid:
+            # A transaction always sees its own uncommitted changes.
+            return version
+        commit_scn = txns.commit_scn_of(version.xid)
+        if commit_scn is not None and commit_scn <= snapshot_scn:
+            return version
+    if chain.truncated:
+        raise SnapshotTooOldError(
+            f"no version visible at SCN {snapshot_scn} on a truncated chain"
+        )
+    return None
+
+
+def visible_values(
+    chain: VersionChain,
+    snapshot_scn: SCN,
+    txns: TransactionView,
+    reader_xid: Optional[TransactionId] = None,
+) -> Optional[tuple]:
+    """Like :func:`visible_version` but collapses tombstones to ``None``."""
+    version = visible_version(chain, snapshot_scn, txns, reader_xid)
+    if version is None or version.is_delete:
+        return None
+    return version.values

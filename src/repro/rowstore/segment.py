@@ -1,0 +1,141 @@
+"""Segments and the block store ("datafiles").
+
+A segment is the physical storage of one table or partition: an ordered
+list of DBAs.  The :class:`BlockStore` owns every block in one database and
+allocates DBAs from a single counter, so a DBA uniquely identifies a block
+database-wide -- the property the parallel apply hash relies on.
+
+Physical standby semantics: a standby's block store is either a clone of
+the primary's (restore from backup) or starts empty and is built purely by
+replaying change vectors; both paths produce bit-identical structures.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterator, Optional
+
+from repro.common.ids import DBA, ObjectId
+from repro.rowstore.block import DataBlock
+
+
+class BlockStore:
+    """All data blocks of one database, addressed by DBA."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[DBA, DataBlock] = {}
+        self._next_dba: DBA = 1
+
+    def allocate(self, object_id: ObjectId, capacity: int) -> DataBlock:
+        """Allocate a fresh block for a segment (primary side)."""
+        dba = self._next_dba
+        self._next_dba += 1
+        block = DataBlock(dba, object_id, capacity)
+        self._blocks[dba] = block
+        return block
+
+    def ensure(self, dba: DBA, object_id: ObjectId, capacity: int) -> DataBlock:
+        """Get block ``dba``, materialising it if absent (standby apply).
+
+        Keeps the DBA counter ahead of any replayed allocation so a
+        failed-over standby would not re-issue used DBAs.
+        """
+        block = self._blocks.get(dba)
+        if block is None:
+            block = DataBlock(dba, object_id, capacity)
+            self._blocks[dba] = block
+            if dba >= self._next_dba:
+                self._next_dba = dba + 1
+        return block
+
+    def get(self, dba: DBA) -> DataBlock:
+        return self._blocks[dba]
+
+    def get_optional(self, dba: DBA) -> Optional[DataBlock]:
+        return self._blocks.get(dba)
+
+    def __contains__(self, dba: DBA) -> bool:
+        return dba in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def clone(self) -> "BlockStore":
+        """Deep copy -- used to seed a standby from a 'backup'."""
+        return copy.deepcopy(self)
+
+
+class Segment:
+    """The ordered blocks of one table/partition."""
+
+    def __init__(
+        self,
+        object_id: ObjectId,
+        store: BlockStore,
+        rows_per_block: int,
+    ) -> None:
+        self.object_id = object_id
+        self._store = store
+        self.rows_per_block = rows_per_block
+        self._dbas: list[DBA] = []
+
+    # -- geometry --------------------------------------------------------
+    @property
+    def dbas(self) -> list[DBA]:
+        return list(self._dbas)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._dbas)
+
+    def blocks(self) -> Iterator[DataBlock]:
+        for dba in self._dbas:
+            yield self._store.get(dba)
+
+    def contains_dba(self, dba: DBA) -> bool:
+        return dba in self._dba_set()
+
+    def _dba_set(self) -> set[DBA]:
+        # small segments: rebuild cheaply; large segments: cache
+        if not hasattr(self, "_cached_dba_set") or len(self._cached_dba_set) != len(self._dbas):  # type: ignore[has-type]
+            self._cached_dba_set = set(self._dbas)
+        return self._cached_dba_set
+
+    # -- primary-side allocation -----------------------------------------
+    def tail_block_with_space(self) -> DataBlock:
+        """The block new inserts go to, extending the segment if needed."""
+        if self._dbas:
+            tail = self._store.get(self._dbas[-1])
+            if tail.has_free_slot:
+                return tail
+        block = self._store.allocate(self.object_id, self.rows_per_block)
+        self._dbas.append(block.dba)
+        return block
+
+    # -- standby-side materialisation --------------------------------------
+    def ensure_block(self, dba: DBA) -> DataBlock:
+        """Materialise block ``dba`` within this segment (redo apply)."""
+        block = self._store.ensure(dba, self.object_id, self.rows_per_block)
+        if dba not in self._dba_set():
+            self._dbas.append(dba)
+            self._dbas.sort()
+            self._cached_dba_set = set(self._dbas)
+        return block
+
+    # -- maintenance -------------------------------------------------------
+    def truncate(self, scn: int) -> None:
+        """Drop all rows; blocks are deallocated (segment reset)."""
+        for block in self.blocks():
+            block.wipe(scn)
+        self._dbas = []
+        self._cached_dba_set = set()
+
+    def row_count_current(self) -> int:
+        """Number of slots whose current version is a live row (no CR)."""
+        count = 0
+        for block in self.blocks():
+            for __, chain in block.chains():
+                current = chain.current
+                if current is not None and not current.is_delete:
+                    count += 1
+        return count

@@ -1,0 +1,109 @@
+"""Row version chains: the undo mechanism behind Consistent Read.
+
+Oracle keeps before-images in undo segments and reconstructs old block
+images by rolling changes back.  The observable contract -- "give me this
+row as of SCN s, skipping writers that had not committed by s" -- is
+implemented here as a per-row chain of versions ordered newest-first.
+Each version records the writing transaction and the SCN at which the
+change was made; visibility is decided against a transaction table (see
+``cr.py``).
+
+The chain is also what makes the *standby* readable: recovery workers push
+versions onto the same structure as they apply change vectors, so a query
+at the published QuerySCN simply skips versions whose writers' commit SCNs
+are not yet covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.common.ids import TransactionId
+from repro.common.scn import SCN
+
+
+@dataclass(slots=True)
+class RowVersion:
+    """One version of one row.
+
+    ``values is None`` marks a delete tombstone.  ``scn`` is the SCN of the
+    *change* (the redo record's SCN), not the commit SCN -- commit SCNs live
+    in the transaction table, mirroring Oracle's delayed block cleanout.
+    """
+
+    values: Optional[tuple]
+    xid: TransactionId
+    scn: SCN
+
+    @property
+    def is_delete(self) -> bool:
+        return self.values is None
+
+
+class VersionChain:
+    """Newest-first list of :class:`RowVersion` for one row slot."""
+
+    __slots__ = ("_versions", "truncated")
+
+    def __init__(self) -> None:
+        self._versions: list[RowVersion] = []
+        #: True once old versions have been pruned; a CR walk that falls off
+        #: the end of a truncated chain must raise SnapshotTooOldError.
+        self.truncated = False
+
+    def push(self, version: RowVersion) -> None:
+        """Record a new change (becomes the current version)."""
+        self._versions.append(version)
+
+    @property
+    def current(self) -> Optional[RowVersion]:
+        """The newest version, or ``None`` for a never-written slot."""
+        return self._versions[-1] if self._versions else None
+
+    def __iter__(self) -> Iterator[RowVersion]:
+        """Iterate newest to oldest."""
+        return reversed(self._versions)
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def pop_if(self, xid: TransactionId) -> Optional[RowVersion]:
+        """Remove and return the newest version iff ``xid`` wrote it.
+
+        Used by rollback (one compensating change per original change) and
+        by the standby's application of UNDO change vectors.
+        """
+        if self._versions and self._versions[-1].xid == xid:
+            return self._versions.pop()
+        return None
+
+    def rollback_transaction(self, xid: TransactionId) -> int:
+        """Remove every version written by ``xid`` (transaction abort).
+
+        Versions written by one transaction are contiguous at the head of
+        the chain only if no other transaction wrote after it; since a row
+        is write-locked by its newest uncommitted version, aborting ``xid``
+        can only ever need to strip head versions.  Returns the number of
+        versions removed.
+        """
+        removed = 0
+        while self._versions and self._versions[-1].xid == xid:
+            self._versions.pop()
+            removed += 1
+        return removed
+
+    def prune(self, keep: int) -> int:
+        """Drop all but the newest ``keep`` versions (undo retention).
+
+        Returns the number of versions dropped.  Never drops the current
+        version.
+        """
+        if keep < 1:
+            raise ValueError("must keep at least the current version")
+        excess = len(self._versions) - keep
+        if excess <= 0:
+            return 0
+        del self._versions[:excess]
+        self.truncated = True
+        return excess

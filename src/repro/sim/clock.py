@@ -1,0 +1,26 @@
+"""Simulated wall clock."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated time in seconds.
+
+    Only the scheduler advances the clock; everything else reads ``now``.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move time forward to ``t``.  Moving backwards is a scheduler bug."""
+        if t < self._now:
+            raise ValueError(f"clock cannot move backwards: {t} < {self._now}")
+        self._now = t
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

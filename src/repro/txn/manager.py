@@ -1,0 +1,321 @@
+"""The transaction manager: DML execution + redo generation.
+
+One manager runs per primary instance (RAC redo thread).  All managers in
+a cluster share the SCN clock, the transaction table and the set of
+IMCS-enabled objects (used for the specialized commit-record flag).
+
+Rollback is modelled the way Oracle really does it: applying undo
+*generates more redo* -- each original change gets a compensating UNDO
+change vector, followed by an abort control record.  The standby therefore
+learns about rollbacks purely from the redo stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.errors import InvalidStateError
+from repro.common.ids import InstanceId, ObjectId, RowId, TenantId, TransactionId
+from repro.common.scn import SCN, SCNClock
+from repro.redo.log import RedoLog
+from repro.redo.records import (
+    CVOp,
+    ChangeVector,
+    CommitPayload,
+    DeletePayload,
+    InsertPayload,
+    RedoRecord,
+    UndoPayload,
+    UpdatePayload,
+    txn_table_dba,
+)
+from repro.rowstore.table import Table
+from repro.txn.table import TransactionTable, TxnState
+
+
+@dataclass(slots=True)
+class ChangeRecord:
+    """One DML change, retained for rollback and commit-time hooks."""
+
+    kind: CVOp
+    table: Table
+    object_id: ObjectId
+    rowid: RowId
+    old_values: Optional[tuple]
+    new_values: Optional[tuple]
+    changed_columns: tuple[str, ...]
+    scn: SCN
+
+
+@dataclass(slots=True)
+class Transaction:
+    """A client transaction on one primary instance."""
+
+    xid: TransactionId
+    tenant: TenantId
+    state: TxnState = TxnState.ACTIVE
+    began_in_redo: bool = False
+    commit_scn: SCN = 0
+    touched_objects: set[ObjectId] = field(default_factory=set)
+    changes: list[ChangeRecord] = field(default_factory=list)
+
+    @property
+    def is_active(self) -> bool:
+        return self.state in (TxnState.ACTIVE, TxnState.PREPARED)
+
+
+class TransactionManager:
+    """Runs transactions for one primary instance."""
+
+    def __init__(
+        self,
+        instance: InstanceId,
+        clock: SCNClock,
+        txn_table: TransactionTable,
+        redo_log: RedoLog,
+        imcs_enabled_objects: set[ObjectId],
+        specialized_commit_redo: bool = True,
+    ) -> None:
+        self.instance = instance
+        self.clock = clock
+        self.txn_table = txn_table
+        self.redo_log = redo_log
+        #: Objects enabled for IMCS population on *any* database of the
+        #: configuration (primary or standby) -- drives the III-E flag.
+        self.imcs_enabled_objects = imcs_enabled_objects
+        self.specialized_commit_redo = specialized_commit_redo
+        self._next_sequence = 1
+        #: Callbacks fired after a commit: fn(txn, commit_scn).  The
+        #: primary's own DBIM transaction manager hooks in here to
+        #: invalidate SMU rows.
+        self.on_commit: list[Callable[[Transaction, SCN], None]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, tenant: TenantId = 0) -> Transaction:
+        xid = TransactionId(self.instance, self._next_sequence)
+        self._next_sequence += 1
+        self.txn_table.begin(xid)
+        return Transaction(xid=xid, tenant=tenant)
+
+    def _require_active(self, txn: Transaction) -> None:
+        if not txn.is_active:
+            raise InvalidStateError(f"{txn.xid} is {txn.state}, not active")
+
+    def _emit(self, scn: SCN, cvs: list[ChangeVector]) -> None:
+        self.redo_log.append(RedoRecord(scn, self.instance, tuple(cvs)))
+
+    def _begin_cv_if_needed(self, txn: Transaction) -> list[ChangeVector]:
+        """The first change of a transaction carries the begin control CV
+        (the journal's anchor node is created when it is mined)."""
+        if txn.began_in_redo:
+            return []
+        txn.began_in_redo = True
+        return [
+            ChangeVector(
+                CVOp.TXN_BEGIN,
+                txn_table_dba(self.instance),
+                object_id=0,
+                tenant=txn.tenant,
+                xid=txn.xid,
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        txn: Transaction,
+        table: Table,
+        values: tuple,
+        partition: Optional[str] = None,
+    ) -> RowId:
+        self._require_active(txn)
+        scn = self.clock.next()
+        object_id, rowid = table.insert_row(values, txn.xid, scn, partition)
+        cvs = self._begin_cv_if_needed(txn)
+        cvs.append(
+            ChangeVector(
+                CVOp.INSERT,
+                rowid.dba,
+                object_id,
+                txn.tenant,
+                txn.xid,
+                InsertPayload(rowid.slot, values),
+            )
+        )
+        self._emit(scn, cvs)
+        txn.touched_objects.add(object_id)
+        txn.changes.append(
+            ChangeRecord(
+                CVOp.INSERT, table, object_id, rowid, None, values, (), scn
+            )
+        )
+        return rowid
+
+    def update(
+        self,
+        txn: Transaction,
+        table: Table,
+        rowid: RowId,
+        changes: dict[str, object],
+    ) -> None:
+        self._require_active(txn)
+        scn = self.clock.next()
+        object_id, old_values, new_values = table.update_row(
+            rowid, changes, txn.xid, scn, self.txn_table
+        )
+        changed = tuple(changes)
+        cvs = self._begin_cv_if_needed(txn)
+        cvs.append(
+            ChangeVector(
+                CVOp.UPDATE,
+                rowid.dba,
+                object_id,
+                txn.tenant,
+                txn.xid,
+                UpdatePayload(rowid.slot, new_values, changed),
+            )
+        )
+        self._emit(scn, cvs)
+        txn.touched_objects.add(object_id)
+        txn.changes.append(
+            ChangeRecord(
+                CVOp.UPDATE, table, object_id, rowid,
+                old_values, new_values, changed, scn,
+            )
+        )
+
+    def delete(self, txn: Transaction, table: Table, rowid: RowId) -> None:
+        self._require_active(txn)
+        scn = self.clock.next()
+        object_id, old_values = table.delete_row(
+            rowid, txn.xid, scn, self.txn_table
+        )
+        cvs = self._begin_cv_if_needed(txn)
+        cvs.append(
+            ChangeVector(
+                CVOp.DELETE,
+                rowid.dba,
+                object_id,
+                txn.tenant,
+                txn.xid,
+                DeletePayload(rowid.slot, old_values),
+            )
+        )
+        self._emit(scn, cvs)
+        txn.touched_objects.add(object_id)
+        txn.changes.append(
+            ChangeRecord(
+                CVOp.DELETE, table, object_id, rowid,
+                old_values, None, (), scn,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # end of transaction
+    # ------------------------------------------------------------------
+    def prepare(self, txn: Transaction) -> None:
+        """Two-phase-commit prepare: emits a prepare control record."""
+        self._require_active(txn)
+        if txn.state is TxnState.PREPARED:
+            return
+        self.txn_table.prepare(txn.xid)
+        txn.state = TxnState.PREPARED
+        if txn.began_in_redo:
+            scn = self.clock.next()
+            self._emit(
+                scn,
+                [
+                    ChangeVector(
+                        CVOp.TXN_PREPARE,
+                        txn_table_dba(self.instance),
+                        object_id=0,
+                        tenant=txn.tenant,
+                        xid=txn.xid,
+                    )
+                ],
+            )
+
+    def commit(self, txn: Transaction) -> SCN:
+        """Commit; returns the commitSCN.
+
+        Read-only transactions (no redo generated) commit silently, like
+        Oracle.  Otherwise a commit record is written whose SCN *is* the
+        commitSCN, annotated with the modifies-IMCS flag when specialized
+        redo generation is on (section III-E).
+        """
+        self._require_active(txn)
+        commit_scn = self.clock.next()
+        txn.commit_scn = commit_scn
+        txn.state = TxnState.COMMITTED
+        self.txn_table.commit(txn.xid, commit_scn)
+        if txn.began_in_redo:
+            if self.specialized_commit_redo:
+                flag: Optional[bool] = bool(
+                    txn.touched_objects & self.imcs_enabled_objects
+                )
+            else:
+                flag = None
+            self._emit(
+                commit_scn,
+                [
+                    ChangeVector(
+                        CVOp.TXN_COMMIT,
+                        txn_table_dba(self.instance),
+                        object_id=0,
+                        tenant=txn.tenant,
+                        xid=txn.xid,
+                        payload=CommitPayload(commit_scn, flag),
+                    )
+                ],
+            )
+        for hook in self.on_commit:
+            hook(txn, commit_scn)
+        return commit_scn
+
+    def rollback(self, txn: Transaction) -> None:
+        """Abort: apply undo (generating compensating redo) then mark
+        the transaction aborted."""
+        self._require_active(txn)
+        for change in reversed(txn.changes):
+            scn = self.clock.next()
+            change.table.apply_undo(
+                change.object_id,
+                change.rowid.dba,
+                change.rowid.slot,
+                txn.xid,
+                scn,
+            )
+            self._emit(
+                scn,
+                [
+                    ChangeVector(
+                        CVOp.UNDO,
+                        change.rowid.dba,
+                        change.object_id,
+                        txn.tenant,
+                        txn.xid,
+                        UndoPayload(change.rowid.slot),
+                    )
+                ],
+            )
+        txn.state = TxnState.ABORTED
+        self.txn_table.abort(txn.xid)
+        if txn.began_in_redo:
+            scn = self.clock.next()
+            self._emit(
+                scn,
+                [
+                    ChangeVector(
+                        CVOp.TXN_ABORT,
+                        txn_table_dba(self.instance),
+                        object_id=0,
+                        tenant=txn.tenant,
+                        xid=txn.xid,
+                    )
+                ],
+            )

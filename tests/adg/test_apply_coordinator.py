@@ -1,0 +1,238 @@
+"""Tests for parallel apply, the recovery coordinator and the QuerySCN."""
+
+import pytest
+
+from repro.adg import (
+    ApplyDistributor,
+    LogMerger,
+    QuerySCNPublisher,
+    RecoveryCoordinator,
+    RecoveryWorker,
+)
+from repro.common import InvalidStateError, QuiesceLock, TransactionId
+from repro.redo import (
+    ChangeVector,
+    CVOp,
+    InsertPayload,
+    RedoReceiver,
+    RedoRecord,
+)
+from repro.sim import Scheduler
+
+X = TransactionId(1, 1)
+
+
+class RecordingApplier:
+    def __init__(self):
+        self.applied = []
+
+    def apply_cv(self, cv, scn):
+        self.applied.append((scn, cv.dba))
+
+
+def rec(scn, dba, thread=1):
+    cv = ChangeVector(CVOp.INSERT, dba, 9, 0, X, InsertPayload(0, (1,)))
+    return RedoRecord(scn, thread, (cv,))
+
+
+class TestDistributor:
+    def test_same_dba_always_same_worker(self):
+        distributor = ApplyDistributor(4)
+        records = [rec(scn, dba=7) for scn in range(10, 20)]
+        distributor.distribute(records)
+        non_empty = [q for q in distributor.queues if q]
+        assert len(non_empty) == 1
+        assert [scn for scn, __ in non_empty[0]] == list(range(10, 20))
+
+    def test_spreads_dbas_across_workers(self):
+        distributor = ApplyDistributor(4)
+        distributor.distribute([rec(10 + d, dba=d) for d in range(64)])
+        assert sum(1 for q in distributor.queues if q) == 4
+
+    def test_distributed_through_tracks_max_scn(self):
+        distributor = ApplyDistributor(2)
+        distributor.distribute([rec(10, 1), rec(15, 2)])
+        assert distributor.distributed_through == 15
+
+
+class TestRecoveryWorker:
+    def test_applies_in_scn_order(self):
+        distributor = ApplyDistributor(1)
+        applier = RecordingApplier()
+        worker = RecoveryWorker(0, distributor, applier)
+        distributor.distribute([rec(s, dba=1) for s in (10, 11, 12)])
+        sched = Scheduler()
+        sched.add_actor(worker)
+        sched.run_until(0.1)
+        assert [scn for scn, __ in applier.applied] == [10, 11, 12]
+        assert worker.applied_scn == 12
+
+    def test_applied_through_with_empty_queue(self):
+        distributor = ApplyDistributor(2)
+        applier = RecordingApplier()
+        w0 = RecoveryWorker(0, distributor, applier)
+        distributor.distribute([rec(50, dba=1)])
+        # whichever worker got nothing reports distributed_through
+        empty = w0 if not distributor.queues[0] else None
+        if empty is not None:
+            assert empty.applied_through() == 50
+
+    def test_applied_through_with_backlog(self):
+        distributor = ApplyDistributor(1)
+        worker = RecoveryWorker(0, distributor, RecordingApplier())
+        distributor.distribute([rec(50, dba=1)])
+        assert worker.applied_through() == 49
+
+    def test_sniffer_latch_miss_stops_batch(self):
+        distributor = ApplyDistributor(1)
+        applier = RecordingApplier()
+        attempts = {"n": 0}
+
+        def sniffer(cv, scn, worker_id, owner):
+            attempts["n"] += 1
+            return attempts["n"] > 2  # first two tries miss the latch
+
+        worker = RecoveryWorker(0, distributor, applier, sniffer=sniffer)
+        distributor.distribute([rec(10, dba=1)])
+        sched = Scheduler()
+        sched.add_actor(worker)
+        sched.run_until(0.1)
+        assert worker.sniff_retries == 2
+        assert len(applier.applied) == 1  # eventually applied exactly once
+
+    def test_flush_helper_called_each_step(self):
+        distributor = ApplyDistributor(1)
+        calls = []
+        worker = RecoveryWorker(
+            0, distributor, RecordingApplier(),
+            flush_helper=lambda wid, batch: calls.append((wid, batch)) or 0,
+        )
+        distributor.distribute([rec(10, dba=1)])
+        sched = Scheduler()
+        sched.add_actor(worker)
+        sched.run_steps(1)
+        assert calls == [(0, worker.flush_batch)]
+
+
+class TestQuerySCNPublisher:
+    def test_publish_advances_and_records_history(self):
+        publisher = QuerySCNPublisher()
+        publisher.publish(10, at_time=1.0)
+        publisher.publish(25, at_time=2.0)
+        assert publisher.value == 25
+        assert publisher.history == [(1.0, 10), (2.0, 25)]
+
+    def test_publish_backwards_rejected(self):
+        publisher = QuerySCNPublisher()
+        publisher.publish(10)
+        with pytest.raises(InvalidStateError):
+            publisher.publish(5)
+
+    def test_same_value_is_noop(self):
+        publisher = QuerySCNPublisher()
+        publisher.publish(10)
+        publisher.publish(10)
+        assert len(publisher.history) == 1
+
+    def test_listeners_notified(self):
+        publisher = QuerySCNPublisher()
+        seen = []
+        publisher.subscribe(seen.append)
+        publisher.publish(10)
+        assert seen == [10]
+
+
+def build_pipeline(n_workers=2, worker_speeds=None):
+    receiver = RedoReceiver()
+    receiver.register_thread(1)
+    merger = LogMerger(receiver)
+    distributor = ApplyDistributor(n_workers)
+    applier = RecordingApplier()
+    workers = []
+    for i in range(n_workers):
+        speed = worker_speeds[i] if worker_speeds else 1.0
+        workers.append(
+            RecoveryWorker(i, distributor, applier, speed=speed)
+        )
+    query_scn = QuerySCNPublisher()
+    coordinator = RecoveryCoordinator(
+        merger, distributor, workers, query_scn, QuiesceLock(),
+        interval=0.001,
+    )
+    sched = Scheduler()
+    sched.add_actor(merger)
+    sched.add_actor(coordinator)
+    for worker in workers:
+        sched.add_actor(worker)
+    return receiver, merger, query_scn, coordinator, sched, applier
+
+
+class TestCoordinator:
+    def test_queryscn_reaches_applied_scn(self):
+        receiver, merger, query_scn, coord, sched, applier = build_pipeline()
+        receiver.deliver([rec(scn, dba=scn % 7) for scn in range(10, 110)])
+        sched.run_until(1.0)
+        assert query_scn.value == 109
+        assert len(applier.applied) == 100
+
+    def test_queryscn_leapfrogs(self):
+        """With unequal worker speeds the published values skip SCNs."""
+        receiver, merger, query_scn, coord, sched, applier = build_pipeline(
+            n_workers=4, worker_speeds=[1.0, 30.0, 1.0, 15.0]
+        )
+        receiver.deliver([rec(scn, dba=scn) for scn in range(10, 510)])
+        sched.run_until(2.0)
+        published = [scn for __, scn in query_scn.history]
+        assert published == sorted(published)
+        assert query_scn.value == 509
+        gaps = [b - a for a, b in zip(published, published[1:])]
+        assert any(gap > 1 for gap in gaps)
+
+    def test_consistency_point_bounded_by_slowest_worker(self):
+        receiver, merger, query_scn, coord, sched, applier = build_pipeline()
+        receiver.deliver([rec(scn, dba=scn % 5) for scn in range(10, 60)])
+        merger.merge_available()
+        coord.distributor.distribute(merger.take_merged(1000))
+        # nothing applied yet: the point sits below every queued CV
+        assert coord.consistency_point() < 10
+
+    def test_quiesce_lock_taken_during_publication(self):
+        """A population holder of the shared quiesce lock delays
+        publication (and the coordinator counts the retries)."""
+        receiver, merger, query_scn, coord, sched, applier = build_pipeline()
+        holder = object()
+        assert coord.quiesce_lock.try_acquire_shared(holder)
+        receiver.deliver([rec(10, dba=1)])
+        sched.run_until(0.2)
+        assert query_scn.value == 0  # blocked by the population capture
+        assert coord.quiesce_wait_retries > 0
+        coord.quiesce_lock.release_shared(holder)
+        sched.run_until(0.4)
+        assert query_scn.value == 10
+
+    def test_advance_protocol_hooks_called_in_order(self):
+        calls = []
+
+        class Protocol:
+            def begin_advance(self, target):
+                calls.append(("begin", target))
+
+            def coordinator_flush(self, batch):
+                calls.append(("flush", batch))
+                return 0
+
+            def is_advance_complete(self):
+                return True
+
+            def finish_advance(self, target):
+                calls.append(("finish", target))
+
+        receiver, merger, query_scn, coord, sched, applier = build_pipeline()
+        coord.advance_protocol = Protocol()
+        receiver.deliver([rec(10, dba=1)])
+        sched.run_until(0.5)
+        assert query_scn.value == 10
+        kinds = [k for k, __ in calls]
+        assert kinds[0] == "begin"
+        assert "finish" in kinds
+        assert kinds.index("begin") < kinds.index("finish")

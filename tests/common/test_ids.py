@@ -1,0 +1,28 @@
+"""Tests for identifier types."""
+
+from repro.common import RowId, TransactionId
+
+
+def test_rowid_equality_and_hash():
+    a = RowId(10, 3)
+    b = RowId(10, 3)
+    c = RowId(10, 4)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+
+
+def test_rowid_ordering_is_block_major():
+    assert RowId(1, 9) < RowId(2, 0)
+    assert RowId(2, 0) < RowId(2, 1)
+
+
+def test_transaction_id_uniqueness_across_instances():
+    t1 = TransactionId(instance=1, sequence=7)
+    t2 = TransactionId(instance=2, sequence=7)
+    assert t1 != t2
+    assert len({t1, t2}) == 2
+
+
+def test_transaction_id_repr_is_compact():
+    assert repr(TransactionId(1, 42)) == "XID(1.42)"

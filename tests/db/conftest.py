@@ -1,0 +1,58 @@
+"""Shared fixtures for db-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ApplyConfig, IMCSConfig, SystemConfig
+from repro.db import ColumnDef, Deployment, InMemoryService, TableDef
+
+
+def small_config(**overrides) -> SystemConfig:
+    config = SystemConfig(
+        imcs=IMCSConfig(imcu_target_rows=64, population_workers=1),
+        apply=ApplyConfig(n_workers=4),
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def simple_table_def(name="T", tenant=0, rows_per_block=8):
+    return TableDef(
+        name,
+        (
+            ColumnDef.number("id", nullable=False),
+            ColumnDef.number("n1"),
+            ColumnDef.varchar("c1"),
+        ),
+        tenant=tenant,
+        rows_per_block=rows_per_block,
+        indexes=("id",),
+    )
+
+
+@pytest.fixture
+def deployment():
+    return Deployment.build(config=small_config())
+
+
+def load(deployment, table="T", n=100, start=0):
+    """Insert ``n`` committed rows through the primary."""
+    txn = deployment.primary.begin()
+    rowids = []
+    for i in range(start, start + n):
+        rowids.append(
+            deployment.primary.insert(txn, table, (i, i * 1.0, f"v{i % 5}"))
+        )
+    scn = deployment.primary.commit(txn)
+    return rowids, scn
+
+
+@pytest.fixture
+def loaded_deployment(deployment):
+    deployment.create_table(simple_table_def())
+    rowids, __ = load(deployment)
+    deployment.enable_inmemory("T", service=InMemoryService.BOTH)
+    deployment.catch_up()
+    return deployment, rowids

@@ -1,0 +1,196 @@
+"""End-to-end tests of the primary/standby deployment."""
+
+import pytest
+
+from repro.db import Deployment, InMemoryService, Service, ServiceRegistry
+from repro.imcs import Predicate
+
+from tests.db.conftest import load, simple_table_def, small_config
+
+
+def rowstore_rows(database, table_name, snapshot):
+    table = database.catalog.table(table_name)
+    return sorted(v for __, v in table.full_scan(snapshot, database.txn_table))
+
+
+class TestReplication:
+    def test_standby_materialises_table_from_marker(self, deployment):
+        deployment.create_table(simple_table_def())
+        deployment.run_until_standby_has("T")
+        standby_table = deployment.standby.catalog.table("T")
+        primary_table = deployment.primary.catalog.table("T")
+        assert standby_table.object_ids == primary_table.object_ids
+
+    def test_committed_rows_replicate(self, deployment):
+        deployment.create_table(simple_table_def())
+        load(deployment, n=50)
+        deployment.catch_up()
+        snapshot = deployment.standby.query_scn.value
+        rows_s = rowstore_rows(deployment.standby, "T", snapshot)
+        rows_p = rowstore_rows(deployment.primary, "T", snapshot)
+        assert rows_s == rows_p
+        assert len(rows_s) == 50
+
+    def test_uncommitted_rows_invisible_on_standby(self, deployment):
+        deployment.create_table(simple_table_def())
+        load(deployment, n=10)
+        txn = deployment.primary.begin()
+        deployment.primary.insert(txn, "T", (999, 9.0, "pending"))
+        deployment.catch_up()
+        result = deployment.standby.query("T")
+        assert len(result.rows) == 10
+        assert all(row[0] != 999 for row in result.rows)
+        # commit and catch up: now visible
+        deployment.primary.commit(txn)
+        deployment.catch_up()
+        assert len(deployment.standby.query("T").rows) == 11
+
+    def test_rolled_back_transaction_never_visible(self, deployment):
+        deployment.create_table(simple_table_def())
+        rowids, __ = load(deployment, n=10)
+        txn = deployment.primary.begin()
+        deployment.primary.update(txn, "T", rowids[0], {"c1": "ghost"})
+        deployment.primary.insert(txn, "T", (777, 7.0, "ghost"))
+        deployment.primary.rollback(txn)
+        deployment.catch_up()
+        result = deployment.standby.query("T", [Predicate.eq("c1", "ghost")])
+        assert result.rows == []
+        assert len(deployment.standby.query("T").rows) == 10
+
+    def test_standby_index_maintained(self, deployment):
+        deployment.create_table(simple_table_def())
+        load(deployment, n=20)
+        deployment.catch_up()
+        row = deployment.standby.index_fetch("T", "id", 7)
+        assert row == (7, 7.0, "v2")
+        assert deployment.standby.index_fetch("T", "id", 999) is None
+
+
+class TestDBIMOnADG:
+    def test_standby_scans_from_imcs(self, loaded_deployment):
+        deployment, __ = loaded_deployment
+        result = deployment.standby.query("T", [Predicate.eq("c1", "v3")])
+        assert len(result.rows) == 20
+        assert result.stats.imcus_used >= 1
+        assert result.stats.fallback_rows == 0
+
+    def test_update_invalidates_and_reconciles(self, loaded_deployment):
+        deployment, rowids = loaded_deployment
+        txn = deployment.primary.begin()
+        deployment.primary.update(txn, "T", rowids[0], {"n1": -42.0})
+        deployment.primary.commit(txn)
+        deployment.catch_up()
+        result = deployment.standby.query("T", [Predicate.eq("n1", -42.0)])
+        assert len(result.rows) == 1
+        assert result.rows[0][0] == 0
+        # old value must be gone
+        old = deployment.standby.query("T", [Predicate.eq("n1", 0.0)])
+        assert all(row[0] != 0 for row in old.rows)
+
+    def test_delete_propagates(self, loaded_deployment):
+        deployment, rowids = loaded_deployment
+        txn = deployment.primary.begin()
+        deployment.primary.delete(txn, "T", rowids[5])
+        deployment.primary.commit(txn)
+        deployment.catch_up()
+        result = deployment.standby.query("T")
+        assert len(result.rows) == 99
+        assert all(row[0] != 5 for row in result.rows)
+
+    def test_inserts_visible_via_edge_reconcile(self, loaded_deployment):
+        deployment, __ = loaded_deployment
+        load(deployment, n=10, start=1000)
+        deployment.catch_up()
+        result = deployment.standby.query("T")
+        assert len(result.rows) == 110
+
+    def test_standby_equals_primary_under_mixed_dml(self, loaded_deployment):
+        deployment, rowids = loaded_deployment
+        primary = deployment.primary
+        txn = primary.begin()
+        for i in range(0, 40, 4):
+            primary.update(txn, "T", rowids[i], {"c1": "upd"})
+        primary.commit(txn)
+        txn = primary.begin()
+        for i in range(1, 20, 4):
+            primary.delete(txn, "T", rowids[i])
+        primary.commit(txn)
+        load(deployment, n=7, start=2000)
+        deployment.catch_up()
+        rows_s = sorted(deployment.standby.query("T").rows)
+        snapshot = deployment.standby.query_scn.value
+        expected = rowstore_rows(deployment.primary, "T", snapshot)
+        assert rows_s == expected
+
+    def test_plain_adg_without_dbim_still_consistent(self):
+        deployment = Deployment.build(config=small_config(), dbim_on_adg=False)
+        deployment.create_table(simple_table_def())
+        load(deployment, n=30)
+        deployment.catch_up()
+        result = deployment.standby.query("T", [Predicate.eq("c1", "v1")])
+        assert len(result.rows) == 6
+        assert result.stats.imcs_rows == 0  # no IMCS without DBIM-on-ADG
+
+    def test_primary_only_service_leaves_standby_rowstore(self, deployment):
+        deployment.create_table(simple_table_def())
+        load(deployment)
+        deployment.enable_inmemory("T", service=InMemoryService.PRIMARY)
+        deployment.catch_up()
+        result_p = deployment.primary.query("T")
+        result_s = deployment.standby.query("T")
+        assert result_p.stats.imcus_used >= 1
+        assert result_s.stats.imcus_used == 0
+        assert len(result_p.rows) == len(result_s.rows) == 100
+
+    def test_commit_flag_reflects_standby_enablement(self, deployment):
+        """Even with nothing in-memory on the primary, commits must carry
+        the flag for standby-populated objects (paper, III-E)."""
+        deployment.create_table(simple_table_def())
+        load(deployment, n=5)
+        deployment.enable_inmemory("T", service=InMemoryService.STANDBY)
+        object_ids = set(deployment.primary.catalog.table("T").object_ids)
+        assert object_ids <= deployment.primary.imcs_enabled_objects
+
+
+class TestServices:
+    def test_registry_routing(self):
+        registry = ServiceRegistry()
+        registry.create("oltp", Service.PRIMARY_ONLY)
+        registry.create("reports", Service.STANDBY_ONLY)
+        registry.create("mixed", Service.PRIMARY_AND_STANDBY)
+        assert registry.route("oltp") == "primary"
+        assert registry.route("reports") == "standby"
+        assert registry.route("mixed") == "standby"
+        assert registry.route("mixed", prefer_standby=False) == "primary"
+
+    def test_duplicate_service_rejected(self):
+        from repro.common import InvalidStateError
+
+        registry = ServiceRegistry()
+        registry.create("s", Service.PRIMARY_ONLY)
+        with pytest.raises(InvalidStateError):
+            registry.create("s", Service.STANDBY_ONLY)
+
+
+class TestQuerySCNBehaviour:
+    def test_standby_query_waits_for_flush(self, loaded_deployment):
+        """A query run before the invalidation flush sees the *old*
+        consistent state, never a torn one."""
+        deployment, rowids = loaded_deployment
+        before = len(deployment.standby.query(
+            "T", [Predicate.eq("c1", "v0")]).rows)
+        txn = deployment.primary.begin()
+        deployment.primary.update(txn, "T", rowids[0], {"c1": "v0x"})
+        deployment.primary.commit(txn)
+        # no catch_up: the standby hasn't advanced yet
+        mid = deployment.standby.query("T", [Predicate.eq("c1", "v0")])
+        assert len(mid.rows) in (before, before - 1)
+        deployment.catch_up()
+        after = deployment.standby.query("T", [Predicate.eq("c1", "v0")])
+        assert len(after.rows) == before - 1
+
+    def test_queryscn_history_is_monotone(self, loaded_deployment):
+        deployment, __ = loaded_deployment
+        history = [scn for __, scn in deployment.standby.query_scn.history]
+        assert history == sorted(history)
+        assert len(history) >= 1

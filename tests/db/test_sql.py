@@ -1,0 +1,115 @@
+"""Tests for the miniature SQL layer."""
+
+import pytest
+
+from repro.db.sql import ParsedQuery, SQLSyntaxError, parse_query
+from repro.imcs.scan import ScanResult
+
+
+class FakeDatabase:
+    """Records the scan request; returns canned rows."""
+
+    def __init__(self, rows=None):
+        self.rows = rows or []
+        self.calls = []
+
+    def query(self, table, predicates, columns, partitions):
+        self.calls.append((table, predicates, columns, partitions))
+        result = ScanResult()
+        result.rows = list(self.rows)
+        return result
+
+
+class TestParsing:
+    def test_table1_q1_shape(self):
+        query = parse_query("SELECT * FROM C101_6P1M_HASH WHERE n1 = :1")
+        assert query.table == "C101_6P1M_HASH"
+        assert query.columns is None
+        assert len(query.predicates) == 1
+        assert query.predicates[0].column == "n1"
+        assert query.predicates[0].op == "="
+
+    def test_projection_list(self):
+        query = parse_query("SELECT a, b FROM t")
+        assert query.columns == ["a", "b"]
+
+    def test_between_and_conjunction(self):
+        query = parse_query(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b = 'x'"
+        )
+        assert len(query.predicates) == 2
+        assert query.predicates[0].op == "between"
+        assert query.predicates[1].op == "="
+
+    def test_is_null_variants(self):
+        q1 = parse_query("SELECT * FROM t WHERE a IS NULL")
+        q2 = parse_query("SELECT * FROM t WHERE a IS NOT NULL")
+        assert q1.predicates[0].op == "is_null"
+        assert q2.predicates[0].op == "is_not_null"
+
+    def test_inequalities(self):
+        query = parse_query("SELECT * FROM t WHERE a <> 5 AND b >= 2 AND c < 'm'")
+        assert [p.op for p in query.predicates] == ["!=", ">=", "<"]
+
+    def test_partition_clause(self):
+        query = parse_query("SELECT * FROM sales PARTITION (JAN)")
+        assert query.partition == "JAN"
+
+    def test_aggregates(self):
+        query = parse_query("SELECT COUNT(*), SUM(amount), AVG(amount) FROM t")
+        assert query.aggregates == [
+            ("count", None), ("sum", "amount"), ("avg", "amount"),
+        ]
+
+    def test_mixed_agg_and_plain_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT a, COUNT(*) FROM t")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("DELETE FROM t")
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT * FROM t WHERE a LIKE 'x%'")
+
+    def test_dangling_between_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT * FROM t WHERE a BETWEEN 1")
+
+
+class TestExecution:
+    def test_binds_resolved(self):
+        database = FakeDatabase()
+        query = parse_query("SELECT * FROM t WHERE n1 = :1 AND c1 = :2")
+        query.run(database, {1: 42.0, 2: "x"})
+        __, predicates, ___, ____ = database.calls[0]
+        assert predicates[0].value == 42.0
+        assert predicates[1].value == "x"
+
+    def test_missing_bind_raises(self):
+        query = parse_query("SELECT * FROM t WHERE n1 = :1")
+        with pytest.raises(SQLSyntaxError):
+            query.run(FakeDatabase(), {})
+
+    def test_literals(self):
+        database = FakeDatabase()
+        query = parse_query("SELECT * FROM t WHERE a = 5 AND b = 2.5 AND c = 'hi'")
+        query.run(database)
+        predicates = database.calls[0][1]
+        assert [p.value for p in predicates] == [5, 2.5, "hi"]
+
+    def test_aggregate_execution(self):
+        database = FakeDatabase(rows=[(1.0,), (2.0,), (None,)])
+        query = parse_query("SELECT COUNT(*), SUM(amount), MAX(amount) FROM t")
+        assert query.run(database) == [3, 3.0, 2.0]
+        # aggregates request only the needed column
+        assert database.calls[0][2] == ["amount"]
+
+    def test_count_only_projects_nothing_specific(self):
+        database = FakeDatabase(rows=[(9,)] * 4)
+        query = parse_query("SELECT COUNT(*) FROM t WHERE a = 1")
+        assert query.run(database) == [4]
+
+    def test_partition_passed_through(self):
+        database = FakeDatabase()
+        parse_query("SELECT * FROM t PARTITION (FEB)").run(database)
+        assert database.calls[0][3] == ["FEB"]

@@ -1,0 +1,143 @@
+"""Tests for the IM-ADG Journal and Commit Table structures."""
+
+import pytest
+
+from repro.common import TransactionId
+from repro.dbim_adg import (
+    CommitTableNode,
+    IMADGCommitTable,
+    IMADGJournal,
+    InvalidationRecord,
+)
+
+
+def xid(n):
+    return TransactionId(1, n)
+
+
+def record(obj=9, dba=5, slots=(0,), scn=10):
+    return InvalidationRecord(obj, dba, slots, tenant=0, scn=scn)
+
+
+class TestJournal:
+    def test_get_or_create_then_get(self):
+        journal = IMADGJournal(8)
+        owner = object()
+        anchor = journal.get_or_create(xid(1), 0, owner)
+        assert anchor is not None
+        acquired, again = journal.get(xid(1), owner)
+        assert acquired and again is anchor
+        assert journal.anchor_count == 1
+
+    def test_per_worker_areas_accumulate_without_latch(self):
+        journal = IMADGJournal(8)
+        anchor = journal.get_or_create(xid(1), 0, object())
+        anchor.add(0, record(scn=10))
+        anchor.add(1, record(scn=11))
+        anchor.add(0, record(scn=12))
+        assert anchor.n_records == 3
+        assert len(anchor.worker_records) == 2
+        assert {r.scn for r in anchor.all_records()} == {10, 11, 12}
+
+    def test_latch_miss_returns_none(self):
+        journal = IMADGJournal(1)  # single bucket: guaranteed collision
+        blocker = object()
+        latch = journal.latches.latch_for(0)
+        assert latch.try_acquire(blocker)
+        assert journal.get_or_create(xid(1), 0, object()) is None
+        assert journal.remove(xid(1), object()) is None
+        acquired, __ = journal.get(xid(1), object())
+        assert not acquired
+        latch.release(blocker)
+        assert journal.get_or_create(xid(1), 0, object()) is not None
+
+    def test_remove(self):
+        journal = IMADGJournal(8)
+        owner = object()
+        journal.get_or_create(xid(1), 0, owner)
+        assert journal.remove(xid(1), owner) is True
+        assert journal.remove(xid(1), owner) is False
+        assert journal.anchor_count == 0
+
+    def test_clear_drops_everything(self):
+        journal = IMADGJournal(8)
+        owner = object()
+        for i in range(10):
+            anchor = journal.get_or_create(xid(i), 0, owner)
+            anchor.add(0, record())
+        journal.clear()
+        assert journal.anchor_count == 0
+        assert journal.record_count == 0
+
+    def test_distinct_buckets_no_contention(self):
+        journal = IMADGJournal(64)
+        owner = object()
+        for i in range(32):
+            journal.get_or_create(xid(i), 0, owner)
+        assert journal.latches.total_misses == 0
+
+
+class TestCommitTable:
+    def node(self, n, scn, coarse=False):
+        return CommitTableNode(
+            xid=xid(n), commit_scn=scn, anchor=None, tenant=0, coarse=coarse
+        )
+
+    def test_insert_sorted_within_partition(self):
+        table = IMADGCommitTable(n_partitions=1)
+        owner = object()
+        for scn in (30, 10, 20):
+            assert table.insert(self.node(scn, scn), owner)
+        chopped = table.chop(100)
+        assert [n.commit_scn for n in chopped] == [10, 20, 30]
+
+    def test_chop_respects_boundary(self):
+        table = IMADGCommitTable(n_partitions=4)
+        owner = object()
+        for scn in range(10, 20):
+            table.insert(self.node(scn, scn), owner)
+        chopped = table.chop(14)
+        assert sorted(n.commit_scn for n in chopped) == [10, 11, 12, 13, 14]
+        assert len(table) == 5
+        assert table.min_pending_scn == 15
+
+    def test_chop_merges_partitions_in_scn_order(self):
+        table = IMADGCommitTable(n_partitions=4)
+        owner = object()
+        for scn in (55, 12, 78, 31, 44, 9):
+            table.insert(self.node(scn, scn), owner)
+        chopped = table.chop(1000)
+        scns = [n.commit_scn for n in chopped]
+        assert scns == sorted(scns)
+
+    def test_partition_latch_miss(self):
+        table = IMADGCommitTable(n_partitions=1)
+        blocker = object()
+        assert table.latches.latch_for(0).try_acquire(blocker)
+        assert not table.insert(self.node(1, 10), object())
+        table.latches.latch_for(0).release(blocker)
+        assert table.insert(self.node(1, 10), object())
+
+    def test_empty_chop(self):
+        table = IMADGCommitTable()
+        assert table.chop(100) == []
+        assert table.min_pending_scn is None
+
+    def test_partitioning_reduces_contention_vs_single_list(self):
+        """Ablation rationale: with one partition every insert contends on
+        one latch; with many, concurrent owners mostly hit different
+        latches.  We emulate 'concurrency' by holding one latch while
+        inserting from another owner."""
+        single = IMADGCommitTable(n_partitions=1)
+        many = IMADGCommitTable(n_partitions=16)
+        holder = object()
+        single.latches.latch_for(0).try_acquire(holder)
+        many.latches.latch_for(0).try_acquire(holder)
+        single_misses = many_misses = 0
+        for i in range(64):
+            if not single.insert(self.node(i, i), object()):
+                single_misses += 1
+            if not many.insert(self.node(i, i), object()):
+                many_misses += 1
+        assert single_misses == 64
+        assert many_misses < 16

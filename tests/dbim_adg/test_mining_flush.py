@@ -1,0 +1,337 @@
+"""Tests for the Mining Component and Invalidation Flush Component."""
+
+import itertools
+
+import pytest
+
+from repro.common import TransactionId
+from repro.dbim_adg import (
+    DDLInformationTable,
+    IMADGCommitTable,
+    IMADGJournal,
+    InvalidationFlushComponent,
+    MiningComponent,
+)
+from repro.imcs import IMCU, InMemoryColumnStore
+from repro.redo import (
+    ChangeVector,
+    CVOp,
+    CommitPayload,
+    DDLMarkerPayload,
+    InsertPayload,
+    UpdatePayload,
+    ddl_marker_dba,
+    txn_table_dba,
+)
+from repro.rowstore import BlockStore, Column, ColumnType, Schema, Table
+
+
+def make_table():
+    schema = Schema(
+        [
+            Column("id", ColumnType.NUMBER, nullable=False),
+            Column("n1", ColumnType.NUMBER),
+        ]
+    )
+    oid = itertools.count(700)
+    return Table(
+        "T", schema, BlockStore(),
+        object_id_allocator=lambda: next(oid), rows_per_block=8,
+    )
+
+
+class FakeTxnView:
+    def __init__(self):
+        self._c = {}
+
+    def commit(self, xid, scn):
+        self._c[xid] = scn
+
+    def commit_scn_of(self, xid):
+        return self._c.get(xid)
+
+
+def make_stack(table=None):
+    journal = IMADGJournal(16)
+    commit_table = IMADGCommitTable(4)
+    ddl_table = DDLInformationTable()
+    store = InMemoryColumnStore()
+    if table is not None:
+        store.enable(table)
+    miner = MiningComponent(journal, commit_table, ddl_table, store)
+    flush = InvalidationFlushComponent(journal, commit_table, ddl_table, store)
+    return journal, commit_table, ddl_table, store, miner, flush
+
+
+def populate(table, store, txns, n=16, clock_scn=1000):
+    xid = TransactionId(1, 999)
+    rowids = []
+    for i in range(n):
+        __, rowid = table.insert_row((i, float(i)), xid, 100 + i)
+        rowids.append(rowid)
+    txns.commit(xid, 200)
+    segment = table.default_partition.segment
+    imcu = IMCU.build(
+        segment, table.schema, table.tenant, segment.dbas, clock_scn, txns
+    )
+    store.register_unit(imcu)
+    return rowids
+
+
+X1 = TransactionId(1, 1)
+
+
+def begin_cv(xid=X1):
+    return ChangeVector(CVOp.TXN_BEGIN, txn_table_dba(1), 0, 0, xid)
+
+
+def commit_cv(scn, xid=X1, flag=True):
+    return ChangeVector(
+        CVOp.TXN_COMMIT, txn_table_dba(1), 0, 0, xid,
+        CommitPayload(scn, flag),
+    )
+
+
+def update_cv(object_id, dba, slot, xid=X1):
+    return ChangeVector(
+        CVOp.UPDATE, dba, object_id, 0, xid,
+        UpdatePayload(slot, (0, -1.0), ("n1",)),
+    )
+
+
+class TestMining:
+    def test_begin_creates_anchor_with_flag(self):
+        journal, *_rest, miner, __ = make_stack()
+        assert miner.sniff(begin_cv(), 10, 0, object())
+        acquired, anchor = journal.get(X1, object())
+        assert anchor is not None and anchor.has_begin
+
+    def test_data_cv_on_enabled_object_mined(self):
+        table = make_table()
+        journal, ct, dt, store, miner, flush = make_stack(table)
+        oid = table.default_partition.object_id
+        miner.sniff(begin_cv(), 10, 0, object())
+        assert miner.sniff(update_cv(oid, dba=1, slot=2), 11, worker_id=3,
+                           owner=object())
+        __, anchor = journal.get(X1, object())
+        records = list(anchor.all_records())
+        assert len(records) == 1
+        assert records[0].dba == 1 and records[0].slots == (2,)
+        assert 3 in anchor.worker_records
+
+    def test_data_cv_on_disabled_object_ignored(self):
+        journal, *__rest, miner, __ = make_stack()  # nothing enabled
+        miner.sniff(begin_cv(), 10, 0, object())
+        miner.sniff(update_cv(4242, dba=1, slot=2), 11, 0, object())
+        __, anchor = journal.get(X1, object())
+        assert anchor.n_records == 0
+        assert miner.data_records_mined == 0
+
+    def test_commit_creates_commit_table_node(self):
+        table = make_table()
+        journal, ct, *__rest, miner, flush = make_stack(table)
+        miner.sniff(begin_cv(), 10, 0, object())
+        assert miner.sniff(commit_cv(50), 50, 0, object())
+        chopped = ct.chop(50)
+        assert len(chopped) == 1
+        assert chopped[0].commit_scn == 50
+        assert not chopped[0].coarse
+        assert chopped[0].anchor is not None
+
+    def test_commit_without_begin_and_flag_true_is_coarse(self):
+        table = make_table()
+        journal, ct, *__rest, miner, flush = make_stack(table)
+        assert miner.sniff(commit_cv(50, flag=True), 50, 0, object())
+        chopped = ct.chop(50)
+        assert chopped[0].coarse
+        assert miner.coarse_nodes_created == 1
+
+    def test_commit_without_begin_and_flag_false_is_skipped(self):
+        table = make_table()
+        journal, ct, *__rest, miner, flush = make_stack(table)
+        assert miner.sniff(commit_cv(50, flag=False), 50, 0, object())
+        assert ct.chop(50) == []
+        assert miner.coarse_nodes_created == 0
+
+    def test_commit_without_begin_and_no_flag_pessimistic_coarse(self):
+        """Specialized redo generation disabled (flag None): assume the
+        worst (paper, III-E)."""
+        table = make_table()
+        journal, ct, *__rest, miner, flush = make_stack(table)
+        assert miner.sniff(commit_cv(50, flag=None), 50, 0, object())
+        assert ct.chop(50)[0].coarse
+
+    def test_abort_discards_journal_entries(self):
+        table = make_table()
+        journal, *__rest, miner, __ = make_stack(table)
+        oid = table.default_partition.object_id
+        miner.sniff(begin_cv(), 10, 0, object())
+        miner.sniff(update_cv(oid, 1, 2), 11, 0, object())
+        abort = ChangeVector(CVOp.TXN_ABORT, txn_table_dba(1), 0, 0, X1)
+        assert miner.sniff(abort, 12, 0, object())
+        assert journal.anchor_count == 0
+
+    def test_undo_cvs_not_mined(self):
+        table = make_table()
+        journal, *__rest, miner, __ = make_stack(table)
+        from repro.redo import UndoPayload
+
+        oid = table.default_partition.object_id
+        miner.sniff(begin_cv(), 10, 0, object())
+        undo = ChangeVector(CVOp.UNDO, 1, oid, 0, X1, UndoPayload(2))
+        assert miner.sniff(undo, 11, 0, object())
+        __, anchor = journal.get(X1, object())
+        assert anchor.n_records == 0
+
+    def test_ddl_marker_buffered(self):
+        table = make_table()
+        journal, ct, ddl_table, *__rest, miner, flush = make_stack(table)
+        payload = DDLMarkerPayload("drop_column", (1,), "T", {"column": "n1"})
+        cv = ChangeVector(CVOp.DDL_MARKER, ddl_marker_dba(1), 1, 0, X1, payload)
+        assert miner.sniff(cv, 30, 0, object())
+        assert len(ddl_table) == 1
+
+    def test_latch_miss_propagates_false(self):
+        table = make_table()
+        journal, *__rest, miner, __ = make_stack(table)
+        blocker = object()
+        bucket = journal._bucket_index(X1)
+        journal.latches.latch_for(bucket).try_acquire(blocker)
+        assert not miner.sniff(begin_cv(), 10, 0, object())
+        assert miner.latch_misses == 1
+
+
+class TestFlush:
+    def test_flush_invalidates_committed_rows(self):
+        table = make_table()
+        txns = FakeTxnView()
+        journal, ct, dt, store, miner, flush = make_stack(table)
+        rowids = populate(table, store, txns)
+        oid = table.default_partition.object_id
+
+        miner.sniff(begin_cv(), 300, 0, object())
+        target = rowids[3]
+        miner.sniff(update_cv(oid, target.dba, target.slot), 301, 0, object())
+        miner.sniff(commit_cv(310), 310, 0, object())
+
+        flush.begin_advance(320)
+        while not flush.is_advance_complete():
+            flush.coordinator_flush(8)
+        flush.finish_advance(320)
+
+        smu = store.unit_covering(oid, target.dba)
+        assert smu.invalid_count == 1
+        assert not smu.valid_row_mask()[3]
+        assert journal.anchor_count == 0  # anchor released after flush
+
+    def test_uncommitted_transaction_not_flushed(self):
+        table = make_table()
+        txns = FakeTxnView()
+        journal, ct, dt, store, miner, flush = make_stack(table)
+        rowids = populate(table, store, txns)
+        oid = table.default_partition.object_id
+        miner.sniff(begin_cv(), 300, 0, object())
+        miner.sniff(update_cv(oid, rowids[0].dba, rowids[0].slot), 301, 0,
+                    object())
+        # no commit mined
+        flush.begin_advance(400)
+        assert flush.is_advance_complete()
+        smu = store.unit_covering(oid, rowids[0].dba)
+        assert smu.invalid_count == 0
+        assert journal.anchor_count == 1  # anchor retained
+
+    def test_commit_beyond_target_not_flushed(self):
+        table = make_table()
+        txns = FakeTxnView()
+        journal, ct, dt, store, miner, flush = make_stack(table)
+        rowids = populate(table, store, txns)
+        oid = table.default_partition.object_id
+        miner.sniff(begin_cv(), 300, 0, object())
+        miner.sniff(update_cv(oid, rowids[0].dba, rowids[0].slot), 301, 0,
+                    object())
+        miner.sniff(commit_cv(500), 500, 0, object())
+        flush.begin_advance(400)  # target below commitSCN
+        assert flush.is_advance_complete()
+        smu = store.unit_covering(oid, rowids[0].dba)
+        assert smu.invalid_count == 0
+        assert len(ct) == 1  # node still waiting
+
+    def test_coarse_node_invalidates_tenant(self):
+        table = make_table()
+        txns = FakeTxnView()
+        journal, ct, dt, store, miner, flush = make_stack(table)
+        populate(table, store, txns)
+        oid = table.default_partition.object_id
+        miner.sniff(commit_cv(310, flag=True), 310, 0, object())  # no begin
+        flush.begin_advance(320)
+        while not flush.is_advance_complete():
+            flush.coordinator_flush(8)
+        assert flush.coarse_flushes == 1
+        assert all(s.fully_invalid for s in store.segment(oid).live_units())
+
+    def test_groups_merge_slots_per_block(self):
+        table = make_table()
+        txns = FakeTxnView()
+        journal, ct, dt, store, miner, flush = make_stack(table)
+        rowids = populate(table, store, txns)
+        oid = table.default_partition.object_id
+        miner.sniff(begin_cv(), 300, 0, object())
+        # two updates to the same block from different workers
+        miner.sniff(update_cv(oid, rowids[0].dba, rowids[0].slot), 301, 0,
+                    object())
+        miner.sniff(update_cv(oid, rowids[1].dba, rowids[1].slot), 302, 1,
+                    object())
+        miner.sniff(commit_cv(310), 310, 0, object())
+        flush.begin_advance(320)
+        flush.coordinator_flush(8)
+        assert flush.groups_created == 1  # one object, few blocks
+
+    def test_worker_flush_respects_cooperative_switch(self):
+        table = make_table()
+        txns = FakeTxnView()
+        journal, ct, dt, store, miner, flush = make_stack(table)
+        rowids = populate(table, store, txns)
+        oid = table.default_partition.object_id
+        miner.sniff(begin_cv(), 300, 0, object())
+        miner.sniff(update_cv(oid, rowids[0].dba, rowids[0].slot), 301, 0,
+                    object())
+        miner.sniff(commit_cv(310), 310, 0, object())
+        flush.cooperative = False
+        flush.begin_advance(320)
+        assert flush.worker_flush(0, 8) == 0  # ablation: workers opt out
+        flush.cooperative = True
+        assert flush.worker_flush(0, 8) == 1
+        assert flush.nodes_flushed_by_workers == 1
+
+    def test_ddl_processing_drops_units_and_applies_schema(self):
+        table = make_table()
+        txns = FakeTxnView()
+        applied = []
+        journal, ct, dt, store, miner, __ = make_stack(table)
+        flush = InvalidationFlushComponent(
+            journal, ct, dt, store, ddl_applier=applied.append
+        )
+        populate(table, store, txns)
+        oid = table.default_partition.object_id
+        payload = DDLMarkerPayload("drop_column", (oid,), "T", {"column": "n1"})
+        cv = ChangeVector(CVOp.DDL_MARKER, ddl_marker_dba(oid), oid, 0, X1,
+                          payload)
+        miner.sniff(cv, 350, 0, object())
+        flush.begin_advance(360)
+        assert store.segment(oid).live_units() == []
+        assert applied == [payload]
+        assert flush.ddl_processed == 1
+
+    def test_ddl_beyond_target_deferred(self):
+        table = make_table()
+        txns = FakeTxnView()
+        journal, ct, dt, store, miner, flush = make_stack(table)
+        populate(table, store, txns)
+        oid = table.default_partition.object_id
+        payload = DDLMarkerPayload("drop_column", (oid,), "T", {"column": "n1"})
+        cv = ChangeVector(CVOp.DDL_MARKER, ddl_marker_dba(oid), oid, 0, X1,
+                          payload)
+        miner.sniff(cv, 500, 0, object())
+        flush.begin_advance(360)
+        assert store.segment(oid).live_units()  # still there
+        assert len(dt) == 1

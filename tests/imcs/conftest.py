@@ -1,0 +1,61 @@
+"""Shared fixtures for IMCS tests."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.common import SCNClock, TransactionId
+from repro.rowstore import BlockStore, Column, ColumnType, Schema, Table
+
+
+class FakeTxnView:
+    def __init__(self) -> None:
+        self._commits: dict[TransactionId, int] = {}
+
+    def commit(self, xid, scn):
+        self._commits[xid] = scn
+
+    def commit_scn_of(self, xid):
+        return self._commits.get(xid)
+
+
+@pytest.fixture
+def txns():
+    return FakeTxnView()
+
+
+@pytest.fixture
+def clock():
+    return SCNClock()
+
+
+@pytest.fixture
+def wide_table():
+    schema = Schema(
+        [
+            Column("id", ColumnType.NUMBER, nullable=False),
+            Column("n1", ColumnType.NUMBER),
+            Column("c1", ColumnType.VARCHAR2),
+        ]
+    )
+    oid = itertools.count(500)
+    return Table(
+        "T", schema, BlockStore(),
+        object_id_allocator=lambda: next(oid), rows_per_block=8,
+    )
+
+
+def load_rows(table, txns, clock, n, committed=True):
+    """Insert ``n`` rows (id=i, n1=i*10, c1='val<i%5>'); returns rowids."""
+    xid = TransactionId(1, 90000 + clock.current)
+    rowids = []
+    for i in range(n):
+        __, rowid = table.insert_row(
+            (i, i * 10.0, f"val{i % 5}"), xid, clock.next()
+        )
+        rowids.append(rowid)
+    if committed:
+        txns.commit(xid, clock.next())
+    return xid, rowids

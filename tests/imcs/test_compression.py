@@ -1,0 +1,136 @@
+"""Tests for column compression units."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imcs import DictionaryCU, NumericCU, RunLengthCU, encode_column
+
+
+class TestNumericCU:
+    def test_roundtrip_and_nulls(self):
+        cu = NumericCU([1, None, 2.5, -3])
+        assert [cu.get(i) for i in range(4)] == [1, None, 2.5, -3]
+
+    def test_eq_mask(self):
+        cu = NumericCU([1, 2, 2, None, 3])
+        assert list(cu.eq_mask(2)) == [False, True, True, False, False]
+
+    def test_eq_mask_null_never_matches(self):
+        cu = NumericCU([None, 1])
+        assert not cu.eq_mask(None).any()
+
+    def test_range_masks(self):
+        cu = NumericCU([1, 5, 10, None])
+        assert list(cu.range_mask(5, None)) == [False, True, True, False]
+        assert list(cu.range_mask(None, 5, hi_inclusive=False)) == [
+            True, False, False, False,
+        ]
+        assert list(cu.range_mask(2, 9)) == [False, True, False, False]
+
+    def test_min_max_ignore_nulls(self):
+        cu = NumericCU([None, 4, 9])
+        assert cu.min_value == 4
+        assert cu.max_value == 9
+
+    def test_all_null_min_max(self):
+        cu = NumericCU([None, None])
+        assert cu.min_value is None and cu.max_value is None
+
+    def test_memory_bytes_positive(self):
+        assert NumericCU([1, 2, 3]).memory_bytes > 0
+
+
+class TestDictionaryCU:
+    def test_roundtrip(self):
+        cu = DictionaryCU(["b", None, "a", "b"])
+        assert [cu.get(i) for i in range(4)] == ["b", None, "a", "b"]
+
+    def test_dictionary_is_sorted_and_deduped(self):
+        cu = DictionaryCU(["z", "a", "z", "m"])
+        assert cu.dictionary == ["a", "m", "z"]
+        assert cu.cardinality == 3
+
+    def test_eq_mask_via_code(self):
+        cu = DictionaryCU(["x", "y", "x", None])
+        assert list(cu.eq_mask("x")) == [True, False, True, False]
+        assert not cu.eq_mask("absent").any()
+        assert not cu.eq_mask(5).any()  # wrong type never matches
+
+    def test_range_mask_order_preserving(self):
+        cu = DictionaryCU(["apple", "fig", "kiwi", "pear", None])
+        got = cu.range_mask("b", "l")
+        assert list(got) == [False, True, True, False, False]
+
+    def test_range_exclusive_bounds(self):
+        cu = DictionaryCU(["a", "b", "c"])
+        got = cu.range_mask("a", "c", lo_inclusive=False, hi_inclusive=False)
+        assert list(got) == [False, True, False]
+
+    def test_min_max(self):
+        cu = DictionaryCU(["m", "a", "z"])
+        assert cu.min_value == "a"
+        assert cu.max_value == "z"
+
+
+class TestRunLengthCU:
+    def test_runs_detected(self):
+        base = DictionaryCU(["a"] * 10 + ["b"] * 10 + ["a"] * 5)
+        rle = RunLengthCU(base)
+        assert rle.n_runs == 3
+        assert rle.get(0) == "a"
+        assert rle.get(10) == "b"
+        assert rle.get(24) == "a"
+
+    def test_masks_match_dictionary(self):
+        values = ["x"] * 7 + [None] * 3 + ["y"] * 5 + ["x"] * 2
+        base = DictionaryCU(values)
+        rle = RunLengthCU(base)
+        assert np.array_equal(rle.eq_mask("x"), base.eq_mask("x"))
+        assert np.array_equal(rle.null_mask(), base.null_mask())
+        assert np.array_equal(
+            rle.range_mask("x", "y"), base.range_mask("x", "y")
+        )
+
+    def test_rle_smaller_for_long_runs(self):
+        values = ["a"] * 1000 + ["b"] * 1000
+        base = DictionaryCU(values)
+        rle = RunLengthCU(base)
+        assert rle.memory_bytes < base.memory_bytes
+
+
+class TestEncodeColumn:
+    def test_numeric_selected(self):
+        assert isinstance(encode_column([1, 2], is_numeric=True), NumericCU)
+
+    def test_dictionary_for_high_churn_strings(self):
+        values = [f"v{i}" for i in range(100)]
+        assert isinstance(encode_column(values, False), DictionaryCU)
+
+    def test_rle_for_long_runs(self):
+        values = ["a"] * 50 + ["b"] * 50
+        assert isinstance(encode_column(values, False), RunLengthCU)
+
+    def test_empty_column(self):
+        cu = encode_column([], is_numeric=False)
+        assert cu.n_rows == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.one_of(st.none(), st.sampled_from(["a", "bb", "ccc", "dd", "e"])),
+        max_size=200,
+    )
+)
+def test_encodings_agree_property(values):
+    """Property: dictionary and RLE agree with a naive python evaluation."""
+    base = DictionaryCU(values)
+    rle = RunLengthCU(base)
+    for cu in (base, rle):
+        expected_eq = [v == "bb" for v in values]
+        assert list(cu.eq_mask("bb")) == expected_eq
+        expected_range = [v is not None and "b" <= v <= "cc" for v in values]
+        assert list(cu.range_mask("b", "cc")) == expected_range
+        assert [cu.get(i) for i in range(len(values))] == values

@@ -1,0 +1,137 @@
+"""Tests for In-Memory External Tables (section V feature)."""
+
+import pytest
+
+from repro.common import InvalidStateError
+from repro.imcs import ExternalTable, Predicate
+from repro.rowstore import Column, ColumnType, Schema
+
+
+def schema():
+    return Schema(
+        [
+            Column("id", ColumnType.NUMBER, nullable=False),
+            Column("metric", ColumnType.NUMBER),
+            Column("host", ColumnType.VARCHAR2),
+        ]
+    )
+
+
+def source_rows():
+    return [(i, float(i * 3), f"host{i % 4}") for i in range(100)]
+
+
+def make(chunk_rows=32):
+    return ExternalTable(
+        "METRICS", schema(), source=source_rows, chunk_rows=chunk_rows
+    )
+
+
+class TestPopulate:
+    def test_scan_before_populate_raises(self):
+        with pytest.raises(InvalidStateError):
+            make().scan()
+
+    def test_populate_loads_all_rows_in_chunks(self):
+        table = make(chunk_rows=32)
+        cost = table.populate()
+        assert cost > 0
+        assert table.n_rows == 100
+        assert len(table._units) == 4  # 32+32+32+4
+
+    def test_populate_validates_schema(self):
+        bad = ExternalTable(
+            "BAD", schema(), source=lambda: [(1, "not-a-number", "x")]
+        )
+        with pytest.raises(ValueError):
+            bad.populate()
+
+    def test_repopulate_refreshes(self):
+        rows = [(1, 1.0, "a")]
+        table = ExternalTable("X", schema(), source=lambda: list(rows))
+        table.populate()
+        assert table.n_rows == 1
+        rows.append((2, 2.0, "b"))
+        table.populate()
+        assert table.n_rows == 2
+        assert table.populations == 2
+
+
+class TestScan:
+    def test_full_scan(self):
+        table = make()
+        table.populate()
+        result = table.scan()
+        assert len(result.rows) == 100
+        assert result.stats.imcus_used == 4
+        assert result.stats.rowstore_rows == 0
+
+    def test_predicates(self):
+        table = make()
+        table.populate()
+        result = table.scan([Predicate.eq("host", "host2")])
+        assert len(result.rows) == 25
+        result = table.scan([Predicate.between("metric", 30, 60)])
+        assert sorted(r[0] for r in result.rows) == list(range(10, 21))
+
+    def test_projection(self):
+        table = make()
+        table.populate()
+        result = table.scan(columns=["host"])
+        assert all(len(r) == 1 for r in result.rows)
+
+    def test_memory_accounting(self):
+        table = make()
+        table.populate()
+        assert table.memory_bytes > 0
+
+
+class TestFacadeIntegration:
+    def test_external_table_on_standby(self):
+        """Section V: external data enabled for population in the standby
+        IMCS, with no redo involvement."""
+        from repro.db import ColumnDef, Deployment
+
+        deployment = Deployment.build()
+        standby = deployment.standby
+        standby.create_external_table(
+            "HADOOP_LOGS",
+            [
+                ColumnDef.number("ts", nullable=False),
+                ColumnDef.varchar("level"),
+            ],
+            source=lambda: [(i, "ERROR" if i % 10 == 0 else "INFO")
+                            for i in range(50)],
+        )
+        standby.populate_external("HADOOP_LOGS")
+        result = standby.query_external(
+            "HADOOP_LOGS", [Predicate.eq("level", "ERROR")]
+        )
+        assert len(result.rows) == 5
+        # nothing shipped: the primary generated no redo for this
+        assert all(len(log) == 0 for log in deployment.primary.redo_logs)
+
+    def test_duplicate_name_rejected(self):
+        from repro.db import ColumnDef, Deployment
+
+        deployment = Deployment.build()
+        deployment.standby.create_external_table(
+            "X", [ColumnDef.number("a")], source=lambda: []
+        )
+        with pytest.raises(InvalidStateError):
+            deployment.standby.create_external_table(
+                "X", [ColumnDef.number("a")], source=lambda: []
+            )
+
+    def test_drop_external_table(self):
+        from repro.common import ObjectNotFoundError
+        from repro.db import ColumnDef, Deployment
+
+        deployment = Deployment.build()
+        standby = deployment.standby
+        standby.create_external_table(
+            "X", [ColumnDef.number("a")], source=lambda: []
+        )
+        standby.drop_external_table("X")
+        with pytest.raises(ObjectNotFoundError):
+            standby.populate_external("X")

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example ends with an assertion-backed "... OK" line; running them in
+a subprocess catches import errors, API drift and broken invariants in the
+documented entry points.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_complete():
+    assert len(EXAMPLES) >= 3  # deliverable: at least three examples
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    assert "OK" in completed.stdout

@@ -1,0 +1,117 @@
+"""Integration tests: failover to the standby with IMCS carry-over."""
+
+import pytest
+
+from repro.db import Deployment, InMemoryService
+from repro.db.failover import failover, terminal_recovery
+from repro.imcs import AggregateSpec, Predicate
+from repro.redo.shipping import LogShipper
+
+from tests.db.conftest import load, simple_table_def, small_config
+
+
+@pytest.fixture
+def ready():
+    deployment = Deployment.build(config=small_config())
+    deployment.create_table(simple_table_def())
+    rowids, __ = load(deployment)
+    deployment.enable_inmemory("T", service=InMemoryService.STANDBY)
+    deployment.catch_up()
+    return deployment, rowids
+
+
+def kill_primary(deployment):
+    """Simulate primary death: its actors (and the shippers) stop."""
+    for actor in deployment.sched.actors:
+        if isinstance(actor, LogShipper) or actor.name.startswith(
+            ("heartbeat-", "primary-popworker", "dml-driver")
+        ):
+            deployment.sched.remove_actor(actor)
+
+
+class TestTerminalRecovery:
+    def test_drains_in_flight_redo(self, ready):
+        deployment, rowids = ready
+        txn = deployment.primary.begin()
+        for rowid in rowids[:25]:
+            deployment.primary.update(txn, "T", rowid, {"n1": -11.0})
+        deployment.primary.commit(txn)
+        deployment.run(0.05)  # redo shipped, not necessarily applied
+        kill_primary(deployment)
+        final = terminal_recovery(deployment.standby, deployment.sched)
+        assert final >= 1
+        result = deployment.standby.query("T", [Predicate.eq("n1", -11.0)])
+        assert len(result.rows) == 25  # nothing shipped was lost
+
+
+class TestFailover:
+    def test_imcs_survives_role_transition(self, ready):
+        deployment, rowids = ready
+        populated_before = deployment.standby.imcs.populated_rows
+        assert populated_before == 100
+        kill_primary(deployment)
+        new_primary = failover(deployment.standby, deployment.sched)
+        # the very same column store serves the new primary, no repopulation
+        assert new_primary.imcs is deployment.standby.imcs
+        assert new_primary.imcs.populated_rows == populated_before
+        result = new_primary.query("T", [Predicate.eq("c1", "v3")])
+        assert len(result.rows) == 20
+        assert result.stats.imcus_used >= 1
+
+    def test_new_primary_accepts_dml_with_imcs_maintenance(self, ready):
+        deployment, rowids = ready
+        kill_primary(deployment)
+        new_primary = failover(deployment.standby, deployment.sched)
+
+        txn = new_primary.begin()
+        new_primary.update(txn, "T", rowids[0], {"n1": -99.0})
+        new_primary.insert(txn, "T", (7777, 7.0, "post-failover"))
+        new_primary.commit(txn)
+
+        # commit-hook invalidation keeps the carried-over IMCUs honest
+        hot = new_primary.query("T", [Predicate.eq("n1", -99.0)])
+        assert len(hot.rows) == 1
+        fresh = new_primary.query("T", [Predicate.eq("c1", "post-failover")])
+        assert len(fresh.rows) == 1
+        stale = new_primary.query("T", [Predicate.eq("n1", 0.0)])
+        assert all(row[0] != 0 for row in stale.rows)
+
+    def test_transaction_ids_do_not_collide(self, ready):
+        deployment, rowids = ready
+        recovered = set(deployment.standby.txn_table._states)
+        kill_primary(deployment)
+        new_primary = failover(deployment.standby, deployment.sched)
+        txn = new_primary.begin()
+        assert txn.xid not in recovered
+        new_primary.insert(txn, "T", (8888, 1.0, "x"))
+        new_primary.commit(txn)
+
+    def test_scn_continuity(self, ready):
+        deployment, rowids = ready
+        final_query_scn = deployment.standby.query_scn.value
+        kill_primary(deployment)
+        new_primary = failover(deployment.standby, deployment.sched)
+        assert new_primary.clock.current > final_query_scn
+        txn = new_primary.begin()
+        new_primary.insert(txn, "T", (9999, 1.0, "x"))
+        commit_scn = new_primary.commit(txn)
+        assert commit_scn > final_query_scn
+
+    def test_feature_state_carries_over(self, ready):
+        deployment, rowids = ready
+        standby = deployment.standby
+        from repro.db import ColumnDef
+
+        standby.create_external_table(
+            "LOGS", [ColumnDef.number("ts")], source=lambda: [(1,), (2,)]
+        )
+        standby.populate_external("LOGS")
+        kill_primary(deployment)
+        new_primary = failover(standby, deployment.sched)
+        assert len(new_primary.query_external("LOGS").rows) == 2
+        # aggregation push-down runs against the carried-over IMCS
+        result = new_primary.aggregate(
+            "T", [AggregateSpec("count"), AggregateSpec("max", "n1")]
+        )
+        assert result.values == [100, 99.0]
+        assert result.pushed_down_rows > 0

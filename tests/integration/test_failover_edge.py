@@ -1,0 +1,67 @@
+"""Edge cases for the failover path."""
+
+import pytest
+
+from repro.common import InvalidStateError
+from repro.db import Deployment, InMemoryService
+from repro.db.failover import activate, terminal_recovery
+from repro.imcs import Predicate
+
+from tests.db.conftest import load, simple_table_def, small_config
+
+
+@pytest.fixture
+def deployment():
+    deployment = Deployment.build(config=small_config())
+    deployment.create_table(simple_table_def())
+    load(deployment, n=30)
+    deployment.enable_inmemory("T", service=InMemoryService.STANDBY)
+    deployment.catch_up()
+    return deployment
+
+
+def test_terminal_recovery_times_out_when_pipeline_wedged(deployment):
+    """A wedged apply pipeline must fail loudly, never activate with a
+    silent gap."""
+    standby = deployment.standby
+    # wedge: workers removed while redo is still queued
+    for worker in standby.workers:
+        deployment.sched.remove_actor(worker)
+    txn = deployment.primary.begin()
+    rowid = deployment.primary.catalog.table("T").indexes["id"].search(0)
+    deployment.primary.update(txn, "T", rowid, {"n1": -1.0})
+    deployment.primary.commit(txn)
+    deployment.run(0.2)  # records pile up, nothing applies
+    with pytest.raises(InvalidStateError, match="terminal recovery"):
+        terminal_recovery(standby, deployment.sched, timeout=0.5)
+
+
+def test_activate_on_quiet_standby(deployment):
+    """Activation with no in-flight redo is immediate and consistent."""
+    terminal_recovery(deployment.standby, deployment.sched)
+    new_primary = activate(deployment.standby, deployment.sched)
+    result = new_primary.query("T", [Predicate.is_not_null("id")])
+    assert len(result.rows) == 30
+    # read-write immediately
+    txn = new_primary.begin()
+    new_primary.insert(txn, "T", (555, 1.0, "x"))
+    new_primary.commit(txn)
+    assert len(new_primary.query("T").rows) == 31
+
+
+def test_activated_primary_repopulates_new_extents(deployment):
+    """The carried-over population engine keeps maintaining the IMCS on
+    the new primary: fresh inserts eventually populate."""
+    from repro.db.failover import failover
+
+    new_primary = failover(deployment.standby, deployment.sched)
+    txn = new_primary.begin()
+    for i in range(200, 260):
+        new_primary.insert(txn, "T", (i, float(i), "fresh"))
+    new_primary.commit(txn)
+    assert deployment.sched.run_until_condition(
+        new_primary.population.fully_populated, max_time=120.0
+    )
+    result = new_primary.query("T", [Predicate.eq("c1", "fresh")])
+    assert len(result.rows) == 60
+    assert result.stats.imcus_used >= 1

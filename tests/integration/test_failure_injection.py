@@ -1,0 +1,210 @@
+"""Failure injection: the standby stays consistent under adverse timing.
+
+Each test perturbs one part of the pipeline -- shipping outages, extreme
+worker skew, repeated restarts under load, quiesce contention, pool
+exhaustion -- and then checks the golden invariant: a standby scan at the
+published QuerySCN equals a primary consistent read at the same SCN.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ApplyConfig, IMCSConfig, SystemConfig
+from repro.db import Deployment, InMemoryService
+from repro.imcs import Predicate
+from repro.workload import OLTAPConfig, OLTAPWorkload
+
+from tests.db.conftest import load, simple_table_def, small_config
+
+
+@pytest.fixture
+def loaded_deployment():
+    deployment = Deployment.build(config=small_config())
+    deployment.create_table(simple_table_def())
+    rowids, __ = load(deployment)
+    deployment.enable_inmemory("T", service=InMemoryService.BOTH)
+    deployment.catch_up()
+    return deployment, rowids
+
+
+def assert_invariant(deployment, table_name="T"):
+    snapshot = deployment.standby.query_scn.value
+    table = deployment.primary.catalog.table(table_name)
+    expected = sorted(
+        values
+        for __, values in table.full_scan(snapshot, deployment.primary.txn_table)
+    )
+    got = sorted(deployment.standby.query(table_name).rows)
+    assert got == expected, (
+        f"divergence at QuerySCN {snapshot}: {len(got)} vs {len(expected)}"
+    )
+
+
+class TestShippingOutage:
+    def test_lag_grows_then_recovers(self, loaded_deployment):
+        """Pause redo shipping mid-workload: the QuerySCN stalls (queries
+        keep answering consistently at the stale snapshot); resuming
+        shipping catches the standby up with no loss."""
+        deployment, rowids = loaded_deployment
+        shippers = [
+            a for a in deployment.sched.actors
+            if type(a).__name__ == "LogShipper"
+        ]
+        assert shippers
+        for shipper in shippers:
+            deployment.sched.remove_actor(shipper)
+
+        stalled_scn = deployment.standby.query_scn.value
+        txn = deployment.primary.begin()
+        for i, rowid in enumerate(rowids[:30]):
+            deployment.primary.update(txn, "T", rowid, {"n1": -7.0})
+        deployment.primary.commit(txn)
+        deployment.run(0.5)
+        # nothing arrived: the standby still answers at the old snapshot
+        assert deployment.standby.query_scn.value <= stalled_scn + 1
+        stale = deployment.standby.query("T", [Predicate.eq("n1", -7.0)])
+        assert stale.rows == []
+        assert deployment.redo_lag_scns > 10
+
+        for shipper in shippers:
+            deployment.sched.add_actor(shipper)
+        deployment.catch_up()
+        fresh = deployment.standby.query("T", [Predicate.eq("n1", -7.0)])
+        assert len(fresh.rows) == 30
+        assert_invariant(deployment)
+
+
+class TestWorkerSkew:
+    def test_extreme_speed_skew_preserves_consistency(self):
+        config = small_config(apply=ApplyConfig(n_workers=4))
+        deployment = Deployment.build(config=config)
+        # one worker 100x slower than the rest
+        deployment.standby.workers[0].speed = 100.0
+        deployment.create_table(simple_table_def())
+        rowids, __ = load(deployment, n=100)
+        deployment.enable_inmemory("T", service=InMemoryService.STANDBY)
+        deployment.catch_up(timeout=900.0)
+
+        txn = deployment.primary.begin()
+        for rowid in rowids[::3]:
+            deployment.primary.update(txn, "T", rowid, {"c1": "skewed"})
+        deployment.primary.commit(txn)
+        deployment.catch_up(timeout=900.0)
+        result = deployment.standby.query("T", [Predicate.eq("c1", "skewed")])
+        assert len(result.rows) == 34
+        assert_invariant(deployment)
+
+    def test_queryscn_monotone_under_skew(self):
+        config = small_config(apply=ApplyConfig(n_workers=4))
+        deployment = Deployment.build(config=config)
+        deployment.standby.workers[1].speed = 25.0
+        deployment.create_table(simple_table_def())
+        load(deployment, n=200)
+        deployment.catch_up(timeout=900.0)
+        history = [scn for __, scn in deployment.standby.query_scn.history]
+        assert history == sorted(history)
+
+
+class TestRestartStorm:
+    def test_three_restarts_under_continuous_dml(self):
+        deployment = Deployment.build(config=small_config())
+        config = OLTAPConfig(
+            n_rows=400, n_number_columns=5, n_varchar_columns=5,
+            target_ops_per_sec=300.0, pct_update=0.5, pct_insert=0.2,
+            pct_scan=0.0, duration=0.6,
+        )
+        workload = OLTAPWorkload(deployment, config)
+        workload.setup(service=InMemoryService.STANDBY)
+        workload.start(sample_metrics=False)
+        for __ in range(3):
+            deployment.run(0.6)
+            deployment.standby.restart()
+        workload.stop()
+        deployment.catch_up()
+        assert deployment.standby.restarts == 3
+        assert_invariant(deployment, config.table_name)
+        # IMCS recovered and serves scans again
+        result = deployment.standby.query(config.table_name)
+        assert result.stats.imcus_used >= 1
+
+
+class TestQuiesceContention:
+    def test_population_storm_does_not_block_advancement_forever(self):
+        """Aggressive repopulation (threshold ~0) makes population workers
+        take the shared quiesce lock constantly; the coordinator must keep
+        publishing regardless."""
+        config = small_config(
+            imcs=IMCSConfig(
+                imcu_target_rows=16,
+                population_workers=3,
+                repopulate_invalid_fraction=0.001,
+                repopulate_min_interval=0.0,
+            )
+        )
+        deployment = Deployment.build(config=config)
+        deployment.create_table(simple_table_def())
+        rowids, __ = load(deployment, n=100)
+        deployment.enable_inmemory("T", service=InMemoryService.STANDBY)
+        deployment.catch_up(timeout=900.0)
+        advancements_before = deployment.standby.coordinator.advancements
+        txn = deployment.primary.begin()
+        for rowid in rowids[:50]:
+            deployment.primary.update(txn, "T", rowid, {"n1": -2.0})
+        deployment.primary.commit(txn)
+        deployment.catch_up(timeout=900.0)
+        assert deployment.standby.coordinator.advancements > advancements_before
+        assert_invariant(deployment)
+
+
+class TestPoolExhaustion:
+    def test_scans_stay_correct_when_pool_too_small(self):
+        config = small_config()
+        config.imcs.pool_size_bytes = 2_000  # fits ~1 small IMCU
+        deployment = Deployment.build(config=config)
+        deployment.create_table(simple_table_def())
+        load(deployment, n=200)
+        deployment.enable_inmemory("T", service=InMemoryService.STANDBY)
+        deployment.run(3.0)  # population mostly skips on capacity
+        assert deployment.standby.population.capacity_skips > 0
+        snapshot = deployment.standby.query_scn.value
+        result = deployment.standby.query("T")
+        table = deployment.primary.catalog.table("T")
+        expected = sorted(
+            values for __, values in table.full_scan(
+                snapshot, deployment.primary.txn_table
+            )
+        )
+        assert sorted(result.rows) == expected
+
+
+class TestLongOpenTransaction:
+    def test_old_transaction_commits_after_many_advancements(self):
+        """A transaction held open across hundreds of QuerySCN
+        advancements must stay buffered in the journal and flush exactly
+        once at its commit."""
+        deployment, rowids = None, None
+        deployment = Deployment.build(config=small_config())
+        deployment.create_table(simple_table_def())
+        rowids, __ = load(deployment, n=50)
+        deployment.enable_inmemory("T", service=InMemoryService.STANDBY)
+        deployment.catch_up()
+
+        long_txn = deployment.primary.begin()
+        deployment.primary.update(long_txn, "T", rowids[0], {"c1": "late"})
+        # unrelated churn drives many advancements while long_txn is open
+        for i in range(20):
+            txn = deployment.primary.begin()
+            deployment.primary.update(txn, "T", rowids[10 + i % 30],
+                                      {"n1": float(i)})
+            deployment.primary.commit(txn)
+            deployment.run(0.05)
+        assert deployment.standby.journal.anchor_count >= 1  # still buffered
+        none_yet = deployment.standby.query("T", [Predicate.eq("c1", "late")])
+        assert none_yet.rows == []
+
+        deployment.primary.commit(long_txn)
+        deployment.catch_up()
+        late = deployment.standby.query("T", [Predicate.eq("c1", "late")])
+        assert len(late.rows) == 1
+        assert_invariant(deployment)

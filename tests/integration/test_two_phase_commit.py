@@ -1,0 +1,70 @@
+"""Integration test: prepared transactions across the replication stack.
+
+The mining component treats PREPARE as control information (paper, III-B);
+a prepared transaction's changes stay buffered in the journal and become
+visible on the standby only at commit, exactly like a plain transaction.
+"""
+
+import pytest
+
+from repro.db import Deployment, InMemoryService
+from repro.imcs import Predicate
+from repro.txn import TxnState
+
+from tests.db.conftest import load, simple_table_def, small_config
+
+
+@pytest.fixture
+def deployment():
+    return Deployment.build(config=small_config())
+
+
+def test_prepared_transaction_flows_through(deployment):
+    deployment.create_table(simple_table_def())
+    rowids, __ = load(deployment, n=20)
+    deployment.enable_inmemory("T", service=InMemoryService.STANDBY)
+    deployment.catch_up()
+
+    primary = deployment.primary
+    txn = primary.begin()
+    primary.update(txn, "T", rowids[0], {"c1": "staged"})
+    primary.instance(1).manager.prepare(txn)
+    deployment.run(0.5)
+
+    # the standby's recovered txn table reflects the prepared state
+    assert deployment.standby.txn_table.state_of(txn.xid) is TxnState.PREPARED
+    # and the change is invisible: journal holds it, flush has not fired
+    invisible = deployment.standby.query("T", [Predicate.eq("c1", "staged")])
+    assert invisible.rows == []
+    assert deployment.standby.journal.anchor_count >= 1
+
+    primary.commit(txn)
+    deployment.catch_up()
+    visible = deployment.standby.query("T", [Predicate.eq("c1", "staged")])
+    assert len(visible.rows) == 1
+
+
+def test_prepared_then_rolled_back(deployment):
+    deployment.create_table(simple_table_def())
+    rowids, __ = load(deployment, n=10)
+    deployment.enable_inmemory("T", service=InMemoryService.STANDBY)
+    deployment.catch_up()
+
+    primary = deployment.primary
+    txn = primary.begin()
+    primary.update(txn, "T", rowids[0], {"c1": "doomed"})
+    primary.instance(1).manager.prepare(txn)
+    deployment.run(0.3)
+    primary.rollback(txn)
+    deployment.catch_up()
+
+    assert deployment.standby.txn_table.state_of(txn.xid) is TxnState.ABORTED
+    result = deployment.standby.query("T", [Predicate.eq("c1", "doomed")])
+    assert result.rows == []
+    # original value restored everywhere
+    snapshot = deployment.standby.query_scn.value
+    table = primary.catalog.table("T")
+    expected = sorted(
+        values for __, values in table.full_scan(snapshot, primary.txn_table)
+    )
+    assert sorted(deployment.standby.query("T").rows) == expected

@@ -1,0 +1,100 @@
+"""Tests for metrics statistics and rendering."""
+
+import pytest
+
+from repro.metrics import (
+    LatencySeries,
+    TimeSeries,
+    percentile,
+    render_figure,
+    render_table,
+    speedup,
+)
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5
+        assert percentile([0, 10], 95) == 9.5
+
+    def test_extremes(self):
+        values = list(range(100))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 99
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 120)
+
+
+class TestLatencySeries:
+    def test_summary_triple(self):
+        series = LatencySeries("Q1")
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0]:
+            series.record(v)
+        summary = series.summary()
+        assert summary["median"] == 3.0
+        assert summary["average"] == 22.0
+        assert summary["p95"] > 4.0
+
+
+class TestTimeSeries:
+    def test_value_at_steps(self):
+        series = TimeSeries("scn")
+        series.record(0.0, 10)
+        series.record(1.0, 20)
+        series.record(2.0, 30)
+        assert series.value_at(0.5) == 10
+        assert series.value_at(1.0) == 20
+        assert series.value_at(99.0) == 30
+
+    def test_max_gap_to(self):
+        primary = TimeSeries("pri")
+        standby = TimeSeries("std")
+        for t, v in [(0, 0), (1, 100), (2, 200)]:
+            primary.record(t, v)
+        for t, v in [(0, 0), (1, 90), (2, 195)]:
+            standby.record(t, v)
+        assert primary.max_gap_to(standby) == 10
+
+    def test_empty_value_at_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().value_at(1.0)
+
+
+class TestRender:
+    def test_speedup(self):
+        assert speedup(100.0, 1.0) == 100.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "median (ms)"],
+            [["Q1", 4.25], ["Q2", 104.5]],
+            title="Table 2",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 2"
+        assert "name" in lines[1] and "median" in lines[1]
+        assert len(lines) == 5
+        assert len(set(len(l) for l in lines[1:])) <= 2  # aligned
+
+    def test_render_figure_samples_series(self):
+        series = {
+            "pri_log1": [(float(t), t * 10.0) for t in range(100)],
+            "std_apply": [(float(t), t * 10.0 - 5) for t in range(100)],
+        }
+        text = render_figure(series, title="Fig 11", samples=5)
+        assert "pri_log1" in text and "std_apply" in text
+        assert text.count("\n") < 20  # sampled, not 100 rows
+
+    def test_render_figure_empty(self):
+        assert render_figure({}, title="x") == "x"

@@ -1,0 +1,77 @@
+"""Tests for the home-location map and the interconnect."""
+
+import pytest
+
+from repro.rac import HomeLocationMap, Interconnect
+from repro.sim import Scheduler
+
+
+class TestHomeLocationMap:
+    def test_deterministic(self):
+        home_map = HomeLocationMap([1, 2], range_blocks=8)
+        assert home_map.instance_for(9, 100) == home_map.instance_for(9, 100)
+
+    def test_blocks_in_same_range_share_home(self):
+        home_map = HomeLocationMap([1, 2, 3], range_blocks=8)
+        base = 64
+        homes = {home_map.instance_for(9, base + i) for i in range(8)}
+        assert len(homes) == 1
+
+    def test_distribution_covers_all_instances(self):
+        home_map = HomeLocationMap([1, 2, 3], range_blocks=4)
+        homes = {home_map.instance_for(9, dba) for dba in range(0, 400, 4)}
+        assert homes == {1, 2, 3}
+
+    def test_split_by_home_partitions_exactly(self):
+        home_map = HomeLocationMap([1, 2], range_blocks=4)
+        dbas = list(range(100))
+        split = home_map.split_by_home(9, dbas)
+        rejoined = sorted(d for ds in split.values() for d in ds)
+        assert rejoined == dbas
+
+    def test_single_instance_owns_everything(self):
+        home_map = HomeLocationMap([1])
+        assert all(home_map.is_home(1, 9, d) for d in range(50))
+
+    def test_empty_instances_rejected(self):
+        with pytest.raises(ValueError):
+            HomeLocationMap([])
+
+
+class TestInterconnect:
+    def test_delivery_after_latency(self):
+        sched = Scheduler()
+        net = Interconnect(sched, latency=0.01)
+        inbox = []
+        net.register(2, lambda frm, p: inbox.append((frm, p, sched.now)))
+        net.send(1, 2, "hello")
+        sched.run_until(0.005)
+        assert inbox == []
+        sched.run_until(0.02)
+        assert inbox[0][:2] == (1, "hello")
+        assert abs(inbox[0][2] - 0.01) < 1e-9
+
+    def test_fifo_per_channel(self):
+        sched = Scheduler()
+        net = Interconnect(sched, latency=0.01)
+        inbox = []
+        net.register(2, lambda frm, p: inbox.append(p))
+        for i in range(10):
+            net.send(1, 2, i)
+        sched.run_until(1.0)
+        assert inbox == list(range(10))
+
+    def test_unregistered_destination_raises(self):
+        sched = Scheduler()
+        net = Interconnect(sched)
+        with pytest.raises(KeyError):
+            net.send(1, 2, "x")
+
+    def test_message_stats(self):
+        sched = Scheduler()
+        net = Interconnect(sched)
+        net.register(2, lambda frm, p: None)
+        net.send(1, 2, "a", size_hint=5)
+        net.send(1, 2, "b", size_hint=3)
+        assert net.messages_sent == 2
+        assert net.bytes_sent == 8

@@ -1,0 +1,135 @@
+"""Integration tests for the SIRA standby RAC (paper, section III-F)."""
+
+import pytest
+
+from repro.imcs import Predicate
+
+from tests.db.conftest import load, simple_table_def, small_config
+from repro.db import Deployment, InMemoryService
+
+
+@pytest.fixture
+def rac_deployment():
+    deployment = Deployment.build(config=small_config())
+    cluster = deployment.add_standby_cluster(n_instances=2)
+    deployment.create_table(simple_table_def(rows_per_block=4))
+    load(deployment, n=200)
+    deployment.enable_inmemory("T", service=InMemoryService.STANDBY)
+    deployment.catch_up()
+    return deployment, cluster
+
+
+class TestClusterPopulation:
+    def test_imcus_distributed_across_instances(self, rac_deployment):
+        deployment, cluster = rac_deployment
+        per_instance = cluster.populated_rows()
+        assert sum(per_instance.values()) == 200
+        populated_instances = [n for n, rows in per_instance.items() if rows]
+        assert len(populated_instances) >= 2, (
+            f"expected distribution, got {per_instance}"
+        )
+
+    def test_no_block_is_double_populated(self, rac_deployment):
+        deployment, cluster = rac_deployment
+        oid = deployment.standby.catalog.table("T").object_ids[0]
+        seen = set()
+        for store in cluster.stores:
+            if not store.is_enabled(oid):
+                continue
+            for smu in store.segment(oid).live_units():
+                for dba in smu.imcu.covered_dbas:
+                    assert dba not in seen, f"dba {dba} populated twice"
+                    seen.add(dba)
+
+
+class TestClusterQueries:
+    def test_cluster_scan_matches_rowstore(self, rac_deployment):
+        deployment, cluster = rac_deployment
+        result = cluster.query("T", [Predicate.eq("c1", "v3")])
+        assert len(result.rows) == 40
+        assert result.stats.imcus_used >= 2  # units from both instances
+
+    def test_satellite_instance_snapshot(self, rac_deployment):
+        deployment, cluster = rac_deployment
+        satellite_id = cluster.satellites[0].instance_id
+        result = cluster.query("T", instance_id=satellite_id)
+        assert len(result.rows) == 200
+
+
+class TestRemoteInvalidation:
+    def test_update_reaches_remote_smu(self, rac_deployment):
+        deployment, cluster = rac_deployment
+        rowids, __ = [], None
+        # touch many rows so both instances receive invalidations
+        table = deployment.primary.catalog.table("T")
+        txn = deployment.primary.begin()
+        targets = []
+        for i in range(0, 200, 5):
+            rowid = table.indexes["id"].search(i)
+            deployment.primary.update(txn, "T", rowid, {"n1": -9.0})
+            targets.append(i)
+        deployment.primary.commit(txn)
+        deployment.catch_up()
+        assert cluster.router.groups_routed_remote >= 1
+        assert all(s.groups_received >= 1 for s in cluster.satellites)
+        result = cluster.query("T", [Predicate.eq("n1", -9.0)])
+        assert sorted(r[0] for r in result.rows) == targets
+
+    def test_satellite_queryscn_follows_master(self, rac_deployment):
+        """Satellites trail the master only by in-flight publications: every
+        value they expose was published by the master, and once redo goes
+        quiet they converge exactly."""
+        deployment, cluster = rac_deployment
+        published = {scn for __, scn in deployment.standby.query_scn.history}
+        for satellite in cluster.satellites:
+            assert satellite.query_scn.value in published
+        master_scn = deployment.standby.query_scn.value
+        deployment.sched.run_until_condition(
+            lambda: all(
+                s.query_scn.value >= master_scn for s in cluster.satellites
+            ),
+            max_time=5.0,
+        )
+        for satellite in cluster.satellites:
+            assert satellite.query_scn.value >= master_scn
+
+    def test_batching_limits_message_count(self, rac_deployment):
+        deployment, cluster = rac_deployment
+        before = cluster.interconnect.messages_sent
+        txn = deployment.primary.begin()
+        table = deployment.primary.catalog.table("T")
+        for i in range(100):
+            rowid = table.indexes["id"].search(i)
+            deployment.primary.update(txn, "T", rowid, {"n1": -3.0})
+        deployment.primary.commit(txn)
+        deployment.catch_up()
+        sent = cluster.interconnect.messages_sent - before
+        # batching: far fewer messages than invalidated rows (plus acks
+        # and QuerySCN publications, which dominate the remainder)
+        assert sent < 100
+
+    def test_cluster_consistency_under_mixed_dml(self, rac_deployment):
+        deployment, cluster = rac_deployment
+        table = deployment.primary.catalog.table("T")
+        txn = deployment.primary.begin()
+        for i in range(0, 50, 3):
+            rowid = table.indexes["id"].search(i)
+            deployment.primary.update(txn, "T", rowid, {"c1": "upd"})
+        deployment.primary.commit(txn)
+        txn = deployment.primary.begin()
+        for i in range(1, 30, 7):
+            rowid = table.indexes["id"].search(i)
+            deployment.primary.delete(txn, "T", rowid)
+        deployment.primary.commit(txn)
+        load(deployment, n=13, start=9000)
+        deployment.catch_up()
+
+        snapshot = deployment.standby.query_scn.value
+        got = sorted(cluster.query("T").rows)
+        expected = sorted(
+            values
+            for __, values in table.full_scan(
+                snapshot, deployment.primary.txn_table
+            )
+        )
+        assert got == expected

@@ -1,0 +1,100 @@
+"""Tests for redo records, logs and readers."""
+
+import pytest
+
+from repro.common import TransactionId
+from repro.redo import (
+    ChangeVector,
+    CVOp,
+    InsertPayload,
+    LogReader,
+    RedoLog,
+    RedoRecord,
+    ddl_marker_dba,
+    txn_table_dba,
+)
+from repro.common.errors import RedoCorruptionError
+
+X = TransactionId(1, 1)
+
+
+def cv(op=CVOp.INSERT, dba=5):
+    payload = InsertPayload(0, (1,)) if op is CVOp.INSERT else None
+    return ChangeVector(op, dba, object_id=9, tenant=0, xid=X, payload=payload)
+
+
+def rec(scn, thread=1, ops=(CVOp.INSERT,)):
+    return RedoRecord(scn, thread, tuple(cv(op) for op in ops))
+
+
+class TestRecords:
+    def test_empty_record_rejected(self):
+        with pytest.raises(ValueError):
+            RedoRecord(10, 1, ())
+
+    def test_control_and_data_classification(self):
+        assert cv(CVOp.TXN_COMMIT).is_control
+        assert not cv(CVOp.TXN_COMMIT).is_data
+        assert cv(CVOp.INSERT).is_data
+        assert cv(CVOp.UNDO).is_data
+        assert not cv(CVOp.DDL_MARKER).is_data
+
+    def test_reserved_dbas_are_negative_and_distinct(self):
+        assert txn_table_dba(1) < 0
+        assert txn_table_dba(1) != txn_table_dba(2)
+        assert ddl_marker_dba(5) < 0
+        assert ddl_marker_dba(5) != ddl_marker_dba(6)
+        assert txn_table_dba(1) != ddl_marker_dba(1)
+
+
+class TestRedoLog:
+    def test_append_and_length(self):
+        log = RedoLog(1)
+        log.append(rec(10))
+        log.append(rec(11))
+        assert len(log) == 2
+        assert log.last_scn == 11
+
+    def test_same_scn_twice_is_allowed(self):
+        """Multiple records can carry the same SCN (batched changes)."""
+        log = RedoLog(1)
+        log.append(rec(10))
+        log.append(rec(10))
+        assert len(log) == 2
+
+    def test_scn_regression_rejected(self):
+        log = RedoLog(1)
+        log.append(rec(10))
+        with pytest.raises(RedoCorruptionError):
+            log.append(rec(9))
+
+    def test_wrong_thread_rejected(self):
+        log = RedoLog(1)
+        with pytest.raises(RedoCorruptionError):
+            log.append(rec(10, thread=2))
+
+
+class TestLogReader:
+    def test_reader_consumes_in_order(self):
+        log = RedoLog(1)
+        for scn in (10, 11, 12):
+            log.append(rec(scn))
+        reader = log.reader()
+        assert reader.next().scn == 10
+        assert reader.peek().scn == 11
+        assert reader.take(5) == [log.record_at(1), log.record_at(2)]
+        assert not reader.has_next()
+
+    def test_independent_readers(self):
+        log = RedoLog(1)
+        log.append(rec(10))
+        r1, r2 = log.reader(), log.reader()
+        r1.next()
+        assert r2.has_next()
+
+    def test_reader_sees_later_appends(self):
+        log = RedoLog(1)
+        reader = log.reader()
+        assert not reader.has_next()
+        log.append(rec(10))
+        assert reader.has_next()

@@ -1,0 +1,58 @@
+"""Shared fixtures for row-store tests."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.common import SCN, TransactionId
+from repro.rowstore import BlockStore, Column, ColumnType, Schema, Table
+
+
+class FakeTxnView:
+    """Minimal transaction table: xid -> commitSCN (None = uncommitted)."""
+
+    def __init__(self) -> None:
+        self._commits: dict[TransactionId, SCN] = {}
+
+    def commit(self, xid: TransactionId, scn: SCN) -> None:
+        self._commits[xid] = scn
+
+    def commit_scn_of(self, xid: TransactionId):
+        return self._commits.get(xid)
+
+
+@pytest.fixture
+def txns():
+    return FakeTxnView()
+
+
+@pytest.fixture
+def xid_factory():
+    counter = itertools.count(1)
+    return lambda: TransactionId(1, next(counter))
+
+
+@pytest.fixture
+def simple_schema():
+    return Schema(
+        [
+            Column("id", ColumnType.NUMBER, nullable=False),
+            Column("n1", ColumnType.NUMBER),
+            Column("c1", ColumnType.VARCHAR2),
+        ]
+    )
+
+
+@pytest.fixture
+def table(simple_schema):
+    store = BlockStore()
+    oid_counter = itertools.count(100)
+    return Table(
+        "T",
+        simple_schema,
+        store,
+        object_id_allocator=lambda: next(oid_counter),
+        rows_per_block=4,
+    )

@@ -1,0 +1,129 @@
+"""Tests for data blocks, segments and the block store."""
+
+import pytest
+
+from repro.common import RowId, TransactionId
+from repro.rowstore import BlockStore, DataBlock, Segment
+
+X1 = TransactionId(1, 1)
+X2 = TransactionId(1, 2)
+
+
+class TestDataBlock:
+    def test_append_until_full(self):
+        block = DataBlock(dba=1, object_id=9, capacity=2)
+        assert block.append_row((1,), X1, 10) == RowId(1, 0)
+        assert block.append_row((2,), X1, 11) == RowId(1, 1)
+        assert not block.has_free_slot
+        with pytest.raises(RuntimeError):
+            block.append_row((3,), X1, 12)
+
+    def test_last_change_scn_tracks_max(self):
+        block = DataBlock(1, 9, 4)
+        block.append_row((1,), X1, 10)
+        block.write_slot(0, (2,), X1, 30)
+        block.write_slot(0, (3,), X1, 20)  # out-of-order touch
+        assert block.last_change_scn == 30
+
+    def test_apply_at_slot_materialises_gaps(self):
+        """Standby apply can hit slot 2 before slots 0-1 (different txns,
+        same worker, but CVs interleaved) -- empty chains are created."""
+        block = DataBlock(1, 9, 4)
+        block.apply_at_slot(2, (30,), X1, 10)
+        assert block.used_slots == 3
+        assert block.chain(2).current.values == (30,)
+        assert block.chain(0).current is None
+
+    def test_apply_beyond_capacity_raises(self):
+        block = DataBlock(1, 9, 2)
+        with pytest.raises(RuntimeError):
+            block.apply_at_slot(5, (1,), X1, 10)
+
+    def test_rollback_transaction(self):
+        block = DataBlock(1, 9, 4)
+        block.append_row((1,), X1, 10)
+        block.append_row((2,), X2, 11)
+        block.write_slot(0, (3,), X2, 12)
+        assert block.rollback_transaction(X2) == 2
+        assert block.chain(0).current.values == (1,)
+        assert block.chain(1).current is None
+
+    def test_wipe_clears_rows(self):
+        block = DataBlock(1, 9, 4)
+        block.append_row((1,), X1, 10)
+        block.wipe(20)
+        assert block.used_slots == 0
+        assert block.last_change_scn == 20
+
+
+class TestBlockStore:
+    def test_allocate_assigns_unique_dbas(self):
+        store = BlockStore()
+        b1 = store.allocate(9, 4)
+        b2 = store.allocate(9, 4)
+        assert b1.dba != b2.dba
+        assert store.get(b1.dba) is b1
+
+    def test_ensure_is_idempotent(self):
+        store = BlockStore()
+        b1 = store.ensure(42, 9, 4)
+        b2 = store.ensure(42, 9, 4)
+        assert b1 is b2
+
+    def test_ensure_advances_allocator(self):
+        store = BlockStore()
+        store.ensure(42, 9, 4)
+        fresh = store.allocate(9, 4)
+        assert fresh.dba > 42
+
+    def test_clone_is_independent(self):
+        store = BlockStore()
+        block = store.allocate(9, 4)
+        block.append_row((1,), X1, 10)
+        cloned = store.clone()
+        cloned.get(block.dba).append_row((2,), X1, 11)
+        assert store.get(block.dba).used_slots == 1
+        assert cloned.get(block.dba).used_slots == 2
+
+
+class TestSegment:
+    def test_tail_block_extends_when_full(self):
+        store = BlockStore()
+        segment = Segment(9, store, rows_per_block=2)
+        for i in range(5):
+            block = segment.tail_block_with_space()
+            block.append_row((i,), X1, 10 + i)
+        assert segment.n_blocks == 3
+
+    def test_contains_dba(self):
+        store = BlockStore()
+        segment = Segment(9, store, rows_per_block=2)
+        block = segment.tail_block_with_space()
+        assert segment.contains_dba(block.dba)
+        assert not segment.contains_dba(block.dba + 999)
+
+    def test_ensure_block_keeps_dbas_sorted(self):
+        store = BlockStore()
+        segment = Segment(9, store, rows_per_block=2)
+        segment.ensure_block(30)
+        segment.ensure_block(10)
+        segment.ensure_block(20)
+        assert segment.dbas == [10, 20, 30]
+
+    def test_truncate_empties_segment(self):
+        store = BlockStore()
+        segment = Segment(9, store, rows_per_block=2)
+        block = segment.tail_block_with_space()
+        block.append_row((1,), X1, 10)
+        segment.truncate(scn=20)
+        assert segment.n_blocks == 0
+        assert segment.row_count_current() == 0
+
+    def test_row_count_current_skips_deletes(self):
+        store = BlockStore()
+        segment = Segment(9, store, rows_per_block=4)
+        block = segment.tail_block_with_space()
+        block.append_row((1,), X1, 10)
+        block.append_row((2,), X1, 11)
+        block.write_slot(0, None, X1, 12)  # delete
+        assert segment.row_count_current() == 1

@@ -1,0 +1,52 @@
+"""Tests for the buffer cache."""
+
+from repro.rowstore import BufferCache
+
+
+def test_first_touch_is_a_miss_with_cost():
+    cache = BufferCache(capacity_blocks=10, miss_cost=0.5)
+    assert cache.touch(1) == 0.5
+    assert cache.touch(1) == 0.0
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_lru_eviction():
+    cache = BufferCache(capacity_blocks=2)
+    cache.touch(1)
+    cache.touch(2)
+    cache.touch(1)  # 1 becomes MRU
+    cache.touch(3)  # evicts 2
+    assert cache.touch(2) > 0  # miss: was evicted
+    assert cache.touch(1) > 0 or cache.touch(1) == 0  # may or may not remain
+
+
+def test_unlimited_capacity_never_evicts():
+    cache = BufferCache(capacity_blocks=None)
+    for dba in range(1000):
+        cache.touch(dba)
+    for dba in range(1000):
+        assert cache.touch(dba) == 0.0
+    assert cache.resident_blocks == 1000
+
+
+def test_touch_many_sums_costs():
+    cache = BufferCache(capacity_blocks=None, miss_cost=0.1)
+    cost = cache.touch_many([1, 2, 3, 1])
+    assert abs(cost - 0.3) < 1e-9
+
+
+def test_invalidate_forces_reread():
+    cache = BufferCache()
+    cache.touch(5)
+    cache.invalidate(5)
+    assert cache.touch(5) > 0
+
+
+def test_hit_ratio():
+    cache = BufferCache()
+    cache.touch(1)
+    cache.touch(1)
+    cache.touch(1)
+    cache.touch(2)
+    assert abs(cache.hit_ratio - 0.5) < 1e-9

@@ -1,0 +1,117 @@
+"""Tests for the B+-tree index, including property-based checks."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import RowId
+from repro.rowstore import BTreeIndex
+
+
+def rid(i):
+    return RowId(i // 64, i % 64)
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        index = BTreeIndex("id", order=4)
+        index.insert(5, rid(5))
+        index.insert(1, rid(1))
+        index.insert(9, rid(9))
+        assert index.search(5) == rid(5)
+        assert index.search(2) is None
+        assert len(index) == 3
+
+    def test_overwrite_same_key(self):
+        index = BTreeIndex("id", order=4)
+        index.insert(5, rid(5))
+        index.insert(5, rid(6))
+        assert index.search(5) == rid(6)
+        assert len(index) == 1
+
+    def test_delete(self):
+        index = BTreeIndex("id", order=4)
+        index.insert(5, rid(5))
+        assert index.delete(5)
+        assert not index.delete(5)
+        assert index.search(5) is None
+        assert len(index) == 0
+
+    def test_splits_grow_depth(self):
+        index = BTreeIndex("id", order=4)
+        for i in range(100):
+            index.insert(i, rid(i))
+        assert index.depth() >= 3
+        for i in range(100):
+            assert index.search(i) == rid(i)
+
+    def test_range_scan_inclusive(self):
+        index = BTreeIndex("id", order=4)
+        for i in range(0, 100, 2):
+            index.insert(i, rid(i))
+        got = [k for k, __ in index.range(10, 20)]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    def test_range_unbounded(self):
+        index = BTreeIndex("id", order=4)
+        for i in [5, 1, 9, 3]:
+            index.insert(i, rid(i))
+        assert [k for k, __ in index.range()] == [1, 3, 5, 9]
+
+    def test_clear(self):
+        index = BTreeIndex("id", order=4)
+        for i in range(50):
+            index.insert(i, rid(i))
+        index.clear()
+        assert len(index) == 0
+        assert index.search(10) is None
+
+    def test_string_keys(self):
+        index = BTreeIndex("c1", order=4)
+        for word in ["pear", "apple", "fig", "kiwi"]:
+            index.insert(word, rid(hash(word) % 100))
+        assert [k for k, __ in index.range()] == ["apple", "fig", "kiwi", "pear"]
+
+
+class TestRandomised:
+    def test_large_shuffled_insert_then_delete_half(self):
+        rng = random.Random(7)
+        keys = list(range(2000))
+        rng.shuffle(keys)
+        index = BTreeIndex("id", order=8)
+        for k in keys:
+            index.insert(k, rid(k))
+        removed = set(keys[:1000])
+        for k in removed:
+            assert index.delete(k)
+        for k in range(2000):
+            if k in removed:
+                assert index.search(k) is None
+            else:
+                assert index.search(k) == rid(k)
+        assert [k for k, __ in index.range()] == sorted(set(range(2000)) - removed)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["ins", "del"]), st.integers(0, 200)),
+        max_size=300,
+    )
+)
+def test_btree_matches_dict_model(ops):
+    """Property: the B+-tree behaves exactly like a sorted dict."""
+    index = BTreeIndex("id", order=4)
+    model: dict[int, RowId] = {}
+    for op, key in ops:
+        if op == "ins":
+            index.insert(key, rid(key))
+            model[key] = rid(key)
+        else:
+            assert index.delete(key) == (key in model)
+            model.pop(key, None)
+    assert len(index) == len(model)
+    assert [k for k, __ in index.range()] == sorted(model)
+    for k, v in model.items():
+        assert index.search(k) == v

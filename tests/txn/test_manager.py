@@ -1,0 +1,201 @@
+"""Tests for the transaction manager: DML, redo shape, commit, rollback."""
+
+import itertools
+
+import pytest
+
+from repro.common import InvalidStateError, SCNClock
+from repro.redo import CVOp, RedoLog, txn_table_dba
+from repro.rowstore import BlockStore, Column, ColumnType, Schema, Table
+from repro.txn import TransactionManager, TransactionTable
+
+
+@pytest.fixture
+def env():
+    clock = SCNClock()
+    txn_table = TransactionTable()
+    log = RedoLog(thread=1)
+    imcs_enabled: set[int] = set()
+    manager = TransactionManager(
+        instance=1,
+        clock=clock,
+        txn_table=txn_table,
+        redo_log=log,
+        imcs_enabled_objects=imcs_enabled,
+    )
+    schema = Schema(
+        [
+            Column("id", ColumnType.NUMBER, nullable=False),
+            Column("n1", ColumnType.NUMBER),
+            Column("c1", ColumnType.VARCHAR2),
+        ]
+    )
+    oid = itertools.count(100)
+    table = Table(
+        "T", schema, BlockStore(),
+        object_id_allocator=lambda: next(oid), rows_per_block=4,
+    )
+    return manager, table, log, txn_table, imcs_enabled
+
+
+def all_cvs(log):
+    return [cv for rec in log.records_from(0) for cv in rec.cvs]
+
+
+class TestDMLRedo:
+    def test_first_dml_emits_begin_cv(self, env):
+        manager, table, log, *__ = env
+        txn = manager.begin()
+        manager.insert(txn, table, (1, 1.0, "a"))
+        ops = [cv.op for cv in all_cvs(log)]
+        assert ops == [CVOp.TXN_BEGIN, CVOp.INSERT]
+
+    def test_begin_cv_emitted_once(self, env):
+        manager, table, log, *__ = env
+        txn = manager.begin()
+        manager.insert(txn, table, (1, 1.0, "a"))
+        manager.insert(txn, table, (2, 2.0, "b"))
+        ops = [cv.op for cv in all_cvs(log)]
+        assert ops.count(CVOp.TXN_BEGIN) == 1
+
+    def test_begin_cv_targets_txn_table_block(self, env):
+        manager, table, log, *__ = env
+        txn = manager.begin()
+        manager.insert(txn, table, (1, 1.0, "a"))
+        begin_cv = all_cvs(log)[0]
+        assert begin_cv.dba == txn_table_dba(1)
+
+    def test_update_cv_carries_new_values_and_changed_columns(self, env):
+        manager, table, log, txn_table, __ = env
+        txn = manager.begin()
+        rowid = manager.insert(txn, table, (1, 1.0, "a"))
+        manager.update(txn, table, rowid, {"n1": 9.0})
+        cv = all_cvs(log)[-1]
+        assert cv.op is CVOp.UPDATE
+        assert cv.payload.new_values == (1, 9.0, "a")
+        assert cv.payload.changed_columns == ("n1",)
+
+    def test_scns_strictly_increase_across_records(self, env):
+        manager, table, log, *__ = env
+        txn = manager.begin()
+        for i in range(5):
+            manager.insert(txn, table, (i, float(i), "x"))
+        scns = [rec.scn for rec in log.records_from(0)]
+        assert scns == sorted(set(scns))
+
+
+class TestCommit:
+    def test_commit_record_scn_is_commit_scn(self, env):
+        manager, table, log, txn_table, __ = env
+        txn = manager.begin()
+        manager.insert(txn, table, (1, 1.0, "a"))
+        commit_scn = manager.commit(txn)
+        last = list(log.records_from(0))[-1]
+        assert last.scn == commit_scn
+        assert last.cvs[0].op is CVOp.TXN_COMMIT
+        assert last.cvs[0].payload.commit_scn == commit_scn
+        assert txn_table.commit_scn_of(txn.xid) == commit_scn
+
+    def test_commit_flag_false_when_no_imcs_object_touched(self, env):
+        manager, table, log, *__ = env
+        txn = manager.begin()
+        manager.insert(txn, table, (1, 1.0, "a"))
+        manager.commit(txn)
+        commit_cv = all_cvs(log)[-1]
+        assert commit_cv.payload.modifies_imcs is False
+
+    def test_commit_flag_true_when_imcs_object_touched(self, env):
+        manager, table, log, __, imcs_enabled = env
+        imcs_enabled.add(table.default_partition.object_id)
+        txn = manager.begin()
+        manager.insert(txn, table, (1, 1.0, "a"))
+        manager.commit(txn)
+        commit_cv = all_cvs(log)[-1]
+        assert commit_cv.payload.modifies_imcs is True
+
+    def test_commit_flag_none_without_specialized_redo(self, env):
+        manager, table, log, *__ = env
+        manager.specialized_commit_redo = False
+        txn = manager.begin()
+        manager.insert(txn, table, (1, 1.0, "a"))
+        manager.commit(txn)
+        commit_cv = all_cvs(log)[-1]
+        assert commit_cv.payload.modifies_imcs is None
+
+    def test_readonly_commit_emits_no_redo(self, env):
+        manager, __, log, txn_table, ___ = env
+        txn = manager.begin()
+        manager.commit(txn)
+        assert len(log) == 0
+        assert txn_table.commit_scn_of(txn.xid) is not None
+
+    def test_on_commit_hooks_fire(self, env):
+        manager, table, *__ = env
+        fired = []
+        manager.on_commit.append(lambda txn, scn: fired.append((txn.xid, scn)))
+        txn = manager.begin()
+        manager.insert(txn, table, (1, 1.0, "a"))
+        scn = manager.commit(txn)
+        assert fired == [(txn.xid, scn)]
+
+    def test_dml_after_commit_raises(self, env):
+        manager, table, *__ = env
+        txn = manager.begin()
+        manager.commit(txn)
+        with pytest.raises(InvalidStateError):
+            manager.insert(txn, table, (1, 1.0, "a"))
+
+
+class TestRollback:
+    def test_rollback_restores_row_values(self, env):
+        manager, table, log, txn_table, __ = env
+        setup = manager.begin()
+        rowid = manager.insert(setup, table, (1, 1.0, "a"))
+        scn0 = manager.commit(setup)
+
+        txn = manager.begin()
+        manager.update(txn, table, rowid, {"n1": 99.0})
+        manager.rollback(txn)
+        assert table.fetch_by_rowid(rowid, manager.clock.current, txn_table) \
+            == (1, 1.0, "a")
+        assert scn0 is not None
+
+    def test_rollback_of_insert_removes_row_and_index_entry(self, env):
+        manager, table, log, txn_table, __ = env
+        table.create_index("id")
+        txn = manager.begin()
+        manager.insert(txn, table, (7, 1.0, "a"))
+        manager.rollback(txn)
+        assert table.indexes["id"].search(7) is None
+        rows = list(table.full_scan(manager.clock.current, txn_table))
+        assert rows == []
+
+    def test_rollback_of_delete_restores_index_entry(self, env):
+        manager, table, __, txn_table, ___ = env
+        table.create_index("id")
+        setup = manager.begin()
+        rowid = manager.insert(setup, table, (7, 1.0, "a"))
+        manager.commit(setup)
+        txn = manager.begin()
+        manager.delete(txn, table, rowid)
+        manager.rollback(txn)
+        assert table.indexes["id"].search(7) == rowid
+
+    def test_rollback_emits_undo_then_abort(self, env):
+        manager, table, log, *__ = env
+        txn = manager.begin()
+        manager.insert(txn, table, (1, 1.0, "a"))
+        manager.insert(txn, table, (2, 2.0, "b"))
+        manager.rollback(txn)
+        ops = [cv.op for cv in all_cvs(log)]
+        assert ops == [
+            CVOp.TXN_BEGIN, CVOp.INSERT, CVOp.INSERT,
+            CVOp.UNDO, CVOp.UNDO, CVOp.TXN_ABORT,
+        ]
+
+    def test_rollback_of_empty_txn_emits_nothing(self, env):
+        manager, __, log, txn_table, ___ = env
+        txn = manager.begin()
+        manager.rollback(txn)
+        assert len(log) == 0
+        assert txn_table.is_finished(txn.xid)
