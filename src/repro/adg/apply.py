@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional, Protocol
 
+from repro.chaos import sites
 from repro.common.ids import WorkerId
 from repro.common.scn import NULL_SCN, SCN
 from repro.redo.records import ChangeVector, RedoRecord
@@ -116,6 +117,9 @@ class RecoveryWorker(Actor):
         self.cvs_applied = 0
         self.sniff_retries = 0
         self.apply_stalls = 0
+        #: Steps skipped by an installed chaos fault (injected slowness).
+        self.chaos_stalls = 0
+        self._chaos = sites.declare("adg.apply_worker", owner=self)
         #: SCN of the last CV this worker applied.
         self.applied_scn: SCN = NULL_SCN
         #: True when the queue-head CV was already sniffed but its apply
@@ -137,6 +141,13 @@ class RecoveryWorker(Actor):
 
     # ------------------------------------------------------------------
     def step(self, sched: Scheduler) -> Optional[float]:
+        chaos = self._chaos
+        if chaos.injectors is not None:
+            decision = chaos.consult("step", worker=self.worker_id)
+            if decision.action is sites.Action.STALL:
+                # injected slowness: burn a step without doing any work
+                self.chaos_stalls += 1
+                return self.cost_per_cv * self.batch
         cost = 0.0
         # 1. cooperative invalidation flush (paper, III-D-2): help drain
         #    the worklink before continuing redo apply.

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional, Protocol
 
+from repro.chaos import sites
 from repro.common.latch import QuiesceLock
 from repro.common.scn import SCN
 from repro.adg.apply import ApplyDistributor, RecoveryWorker
@@ -92,6 +93,9 @@ class RecoveryCoordinator(Actor):
         self.publish_latency_total = 0.0
         self._advance_started_at = 0.0
         self.quiesce_wait_retries = 0
+        #: Publications postponed by an installed chaos fault.
+        self.publish_stalls = 0
+        self._chaos = sites.declare("adg.queryscn_publish", owner=self)
 
     # ------------------------------------------------------------------
     def consistency_point(self) -> SCN:
@@ -142,6 +146,13 @@ class RecoveryCoordinator(Actor):
             if not self.advance_protocol.is_advance_complete():
                 return cost
         # Invalidation flush done: enter the quiesce period and publish.
+        chaos = self._chaos
+        if chaos.injectors is not None:
+            decision = chaos.consult("publish", target=target)
+            if decision.action in (sites.Action.STALL, sites.Action.DELAY):
+                # hold the publication; retried on the next step
+                self.publish_stalls += 1
+                return cost + COORDINATION_COST
         if not self.quiesce_lock.try_acquire_exclusive(self):
             # population is mid-capture; retry next step
             self.quiesce_wait_retries += 1

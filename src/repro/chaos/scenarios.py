@@ -1,0 +1,450 @@
+"""Canned chaos scenarios: the paper's hard cases as replayable runs.
+
+Every scenario builds a small deterministic deployment, runs a DML
+workload while a seeded :class:`~repro.chaos.plan.FaultPlan` perturbs the
+pipeline, then catches the standby up and checks the invariant battery.
+``python -m repro.chaos --scenario all --seed 7`` runs each one twice and
+verifies the two reports are byte-identical.
+
+The roster (each maps to a failure mode discussed in the paper):
+
+* ``baseline``        -- control run, no faults;
+* ``shipping_outage`` -- redo transport down, lag grows, then recovers;
+* ``fal_gap_storm``   -- repeated in-transit losses, FAL heals each gap;
+* ``dup_reorder``     -- duplicated / reordered / delayed shipments;
+* ``worker_crash_flush`` -- a recovery worker dies (and restarts) while
+  cooperative invalidation flush is draining a worklink;
+* ``publish_stall``   -- QuerySCN publication held back repeatedly;
+* ``restart_storm``   -- standby instance bounces under load (III-E);
+* ``rac_chaos``       -- SIRA cluster with interconnect delay,
+  duplication and a partition window (III-F);
+* ``failover_mid_flush`` -- role transition begins while a worklink is
+  mid-drain (terminal recovery must finish the flush).
+
+Scenarios import the database layer lazily so that ``repro.chaos`` stays
+importable from inside pipeline modules (they only need ``sites``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.chaos import faults as F
+from repro.chaos.invariants import (
+    ClusterMatchesPrimaryCR,
+    Invariant,
+    InvariantResult,
+    JournalDrained,
+    NoGapSkip,
+    QuerySCNMonotonic,
+    standard_invariants,
+)
+from repro.chaos.plan import ChaosContext, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.deployment import Deployment
+
+
+class Scenario:
+    """Base scenario: small deployment + deterministic DML churn.
+
+    Subclasses override :meth:`plan` (the faults) and, when the shape of
+    the run differs, :meth:`build` / :meth:`drive` / :meth:`invariants`.
+    """
+
+    name = "baseline"
+    description = "control run: no faults injected"
+    table = "T"
+    load_rows = 100
+    #: (bursts, rows touched per burst, sim seconds between bursts)
+    bursts = 10
+    rows_per_burst = 12
+    burst_gap = 0.2
+
+    # -- construction ----------------------------------------------------
+    def build(self, seed: int) -> "Deployment":
+        from repro.common.config import ApplyConfig, IMCSConfig, SystemConfig
+        from repro.db import ColumnDef, Deployment, InMemoryService, TableDef
+
+        config = SystemConfig(
+            imcs=IMCSConfig(imcu_target_rows=64, population_workers=1),
+            apply=ApplyConfig(n_workers=4),
+            seed=seed,
+        )
+        deployment = Deployment.build(config=config)
+        deployment.create_table(TableDef(
+            self.table,
+            (
+                ColumnDef.number("id", nullable=False),
+                ColumnDef.number("n1"),
+                ColumnDef.varchar("c1"),
+            ),
+            rows_per_block=8,
+            indexes=("id",),
+        ))
+        txn = deployment.primary.begin()
+        rowids = []
+        for i in range(self.load_rows):
+            rowids.append(deployment.primary.insert(
+                txn, self.table, (i, i * 1.0, f"v{i % 5}")
+            ))
+        deployment.primary.commit(txn)
+        deployment.enable_inmemory(
+            self.table, service=InMemoryService.BOTH
+        )
+        deployment.catch_up()
+        self._rowids = rowids
+        return deployment
+
+    # -- faults ----------------------------------------------------------
+    def plan(self, seed: int) -> FaultPlan:
+        return FaultPlan()
+
+    # -- workload --------------------------------------------------------
+    def drive(self, ctx: ChaosContext) -> None:
+        """Deterministic DML churn: updates + trickle inserts in bursts."""
+        deployment = ctx.deployment
+        rng = random.Random(10_000 + self.bursts)
+        next_id = self.load_rows
+        for burst in range(self.bursts):
+            txn = deployment.primary.begin()
+            for __ in range(self.rows_per_burst):
+                rowid = self._rowids[rng.randrange(len(self._rowids))]
+                deployment.primary.update(
+                    txn, self.table, rowid,
+                    {"n1": float(rng.randrange(10_000))},
+                )
+            if burst % 3 == 0:
+                rowid = deployment.primary.insert(
+                    txn, self.table,
+                    (next_id, float(next_id), f"v{next_id % 5}"),
+                )
+                self._rowids.append(rowid)
+                next_id += 1
+            deployment.primary.commit(txn)
+            deployment.run(self.burst_gap)
+
+    def finish(self, ctx: ChaosContext) -> None:
+        ctx.deployment.catch_up(timeout=900.0)
+
+    # -- verdict ---------------------------------------------------------
+    def invariants(self, ctx: ChaosContext) -> list[Invariant]:
+        return standard_invariants(self.table)
+
+    def stats(self, ctx: ChaosContext) -> dict[str, int]:
+        deployment = ctx.deployment
+        standby = deployment.standby
+        receiver = standby.receiver
+        shippers = [
+            site.owner for site in ctx.registry.sites("redo.ship")
+        ]
+        return {
+            "advancements": standby.coordinator.advancements,
+            "publications": len(standby.query_scn.history),
+            "publish_stalls": standby.coordinator.publish_stalls,
+            "gaps_resolved": receiver.gaps_resolved,
+            "gap_records_fetched": receiver.gap_records_fetched,
+            "duplicates_discarded": receiver.duplicates_discarded,
+            "receive_batches_dropped": receiver.batches_dropped,
+            "ship_records_dropped": sum(
+                s.records_dropped for s in shippers
+            ),
+            "worker_cvs_applied": sum(
+                w.cvs_applied for w in standby.workers
+            ),
+            "worker_chaos_stalls": sum(
+                w.chaos_stalls for w in standby.workers
+            ),
+            "flush_nodes": standby.flush.nodes_flushed,
+            "flush_nodes_by_workers": standby.flush.nodes_flushed_by_workers,
+            "flush_chaos_stalls": standby.flush.chaos_stalls,
+            "journal_anchors": standby.journal.anchor_count,
+            "commit_table_nodes": len(standby.commit_table),
+            "standby_restarts": standby.restarts,
+        }
+
+
+# ----------------------------------------------------------------------
+class ShippingOutage(Scenario):
+    name = "shipping_outage"
+    description = (
+        "redo transport crashes mid-workload and restarts: lag grows "
+        "while queries keep answering at the stale QuerySCN, then the "
+        "standby catches up with no loss"
+    )
+
+    def plan(self, seed: int) -> FaultPlan:
+        return FaultPlan().at(
+            0.4, F.CrashActor("shipper-t", restart_after=0.8)
+        )
+
+
+class FALGapStorm(Scenario):
+    name = "fal_gap_storm"
+    description = (
+        "repeated in-transit redo losses: every gap is detected at the "
+        "receiver and FAL-healed from the primary's archived logs"
+    )
+
+    def plan(self, seed: int) -> FaultPlan:
+        return FaultPlan().at(
+            0.2,
+            F.Repeat(
+                lambda: F.Drop("redo.ship", count=2),
+                times=4, interval=0.3, backoff=1.2,
+            ),
+        ).at(0.5, F.Drop("redo.receive", count=1))
+
+
+class DupReorder(Scenario):
+    name = "dup_reorder"
+    description = (
+        "shipments duplicated, reordered and delayed in transit: "
+        "redeliveries are discarded idempotently, overtaken batches "
+        "FAL-heal, redo applies exactly once"
+    )
+
+    def plan(self, seed: int) -> FaultPlan:
+        return (
+            FaultPlan()
+            .at(0.3, F.Duplicate("redo.ship", count=3))
+            .at(0.8, F.Reorder("redo.ship", count=4, overtake=0.03))
+            .at(1.3, F.Delay("redo.ship", by=0.05, count=3))
+        )
+
+
+class WorkerCrashFlush(Scenario):
+    name = "worker_crash_flush"
+    description = (
+        "a recovery worker dies while cooperative flush drains a "
+        "worklink (and the flush itself is stalled); the worker restarts "
+        "and advancement completes"
+    )
+    rows_per_burst = 20
+
+    def plan(self, seed: int) -> FaultPlan:
+        return (
+            FaultPlan()
+            .at(0.35, F.Stall("flush.worklink", count=12))
+            .at(0.4, F.CrashActor("recovery-worker-1", restart_after=0.5))
+            .at(1.1, F.Stall("adg.apply_worker", count=30))
+        )
+
+
+class PublishStall(Scenario):
+    name = "publish_stall"
+    description = (
+        "QuerySCN publication repeatedly held back at the quiesce "
+        "boundary: the published sequence stays monotonic and leapfrogs "
+        "forward once released"
+    )
+
+    def plan(self, seed: int) -> FaultPlan:
+        return FaultPlan().at(
+            0.3,
+            F.Repeat(
+                lambda: F.Stall("adg.queryscn_publish", count=6),
+                times=3, interval=0.4,
+            ),
+        )
+
+
+class RestartStorm(Scenario):
+    name = "restart_storm"
+    description = (
+        "the standby instance bounces repeatedly under load (paper "
+        "III-E): all DBIM-on-ADG state is volatile, yet scans at the "
+        "QuerySCN stay exact after re-population"
+    )
+    bursts = 12
+
+    def plan(self, seed: int) -> FaultPlan:
+        return FaultPlan().at(
+            0.5, F.Repeat(lambda: F.RestartStandby(), times=3, interval=0.6)
+        )
+
+
+class RACChaos(Scenario):
+    name = "rac_chaos"
+    description = (
+        "SIRA standby cluster with interconnect chaos: delayed and "
+        "duplicated invalidation-group messages plus a partition window "
+        "between master and satellite"
+    )
+
+    def build(self, seed: int):
+        from repro.common.config import ApplyConfig, IMCSConfig, SystemConfig
+        from repro.db import ColumnDef, Deployment, InMemoryService, TableDef
+
+        config = SystemConfig(
+            imcs=IMCSConfig(imcu_target_rows=64, population_workers=1),
+            apply=ApplyConfig(n_workers=4),
+            seed=seed,
+        )
+        deployment = Deployment.build(config=config)
+        deployment.add_standby_cluster(n_instances=2)
+        deployment.create_table(TableDef(
+            self.table,
+            (
+                ColumnDef.number("id", nullable=False),
+                ColumnDef.number("n1"),
+                ColumnDef.varchar("c1"),
+            ),
+            rows_per_block=8,
+            indexes=("id",),
+        ))
+        txn = deployment.primary.begin()
+        rowids = []
+        for i in range(self.load_rows):
+            rowids.append(deployment.primary.insert(
+                txn, self.table, (i, i * 1.0, f"v{i % 5}")
+            ))
+        deployment.primary.commit(txn)
+        deployment.enable_inmemory(
+            self.table, service=InMemoryService.STANDBY
+        )
+        deployment.catch_up()
+        self._rowids = rowids
+        return deployment
+
+    def plan(self, seed: int) -> FaultPlan:
+        return (
+            FaultPlan()
+            .at(0.3, F.Delay("rac.message", by=0.01, count=6))
+            .at(0.7, F.Duplicate("rac.message", count=4))
+            .at(1.2, F.Partition(between=(1, 2), duration=0.3))
+        )
+
+    def invariants(self, ctx: ChaosContext) -> list[Invariant]:
+        return [
+            ClusterMatchesPrimaryCR(self.table),
+            QuerySCNMonotonic(),
+            JournalDrained(),
+            NoGapSkip(),
+        ]
+
+
+class _FailoverPreservedData(Invariant):
+    """Post-failover: the activated primary serves exactly the data the
+    old primary had committed at the final published QuerySCN, straight
+    from the carried-over IMCS."""
+
+    name = "failover_preserves_committed_data"
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+
+    def check(self, ctx: ChaosContext) -> InvariantResult:
+        new_primary = ctx.extra.get("new_primary")
+        if new_primary is None:
+            return self._result(False, "failover never completed")
+        final_scn = ctx.extra["final_query_scn"]
+        old_primary = ctx.deployment.primary
+        table = old_primary.catalog.table(self.table)
+        expected = sorted(
+            values
+            for __, values in table.full_scan(
+                final_scn, old_primary.txn_table
+            )
+        )
+        got = sorted(new_primary.query(self.table).rows)
+        if got != expected:
+            return self._result(
+                False,
+                f"activated primary diverges at SCN {final_scn}: "
+                f"{len(got)} vs {len(expected)} rows",
+            )
+        carried = new_primary.imcs.populated_rows
+        return self._result(
+            True,
+            f"{len(got)} rows identical at final QuerySCN {final_scn}; "
+            f"IMCS carried over {carried} populated rows",
+        )
+
+
+class FailoverMidFlush(Scenario):
+    name = "failover_mid_flush"
+    description = (
+        "the primary dies while an invalidation worklink is mid-drain; "
+        "terminal recovery finishes the flush, activation carries the "
+        "IMCS into the new primary role"
+    )
+
+    def plan(self, seed: int) -> FaultPlan:
+        # hold the worklink as the transition starts, and add a failure-
+        # detection delay to the role transition itself
+        return (
+            FaultPlan()
+            .at(0.9, F.Stall("flush.worklink", count=15))
+            .at(0.0, F.Delay("db.failover", by=0.05, count=1,
+                             where=lambda s, e, c: e == "begin"))
+        )
+
+    def drive(self, ctx: ChaosContext) -> None:
+        from repro.db.failover import failover
+        from repro.redo.shipping import LogShipper
+
+        deployment = ctx.deployment
+        rng = random.Random(10_100)
+        for burst in range(5):
+            txn = deployment.primary.begin()
+            for __ in range(20):
+                rowid = self._rowids[rng.randrange(len(self._rowids))]
+                deployment.primary.update(
+                    txn, self.table, rowid,
+                    {"n1": float(rng.randrange(10_000))},
+                )
+            deployment.primary.commit(txn)
+            deployment.run(0.2)
+        # disaster strikes: in-flight redo, worklink possibly mid-drain
+        deployment.run(0.05)
+        for actor in deployment.sched.actors:
+            if isinstance(actor, LogShipper) or actor.name.startswith(
+                ("heartbeat-", "primary-popworker", "primary-undo")
+            ):
+                deployment.sched.remove_actor(actor)
+        ctx.note("note", "primary declared dead; failover begins")
+        new_primary = failover(deployment.standby, deployment.sched)
+        ctx.extra["new_primary"] = new_primary
+        ctx.extra["final_query_scn"] = deployment.standby.query_scn.value
+        ctx.note(
+            "note",
+            f"activated as primary at QuerySCN "
+            f"{deployment.standby.query_scn.value}",
+        )
+
+    def finish(self, ctx: ChaosContext) -> None:
+        ctx.deployment.run(0.2)  # let the activated primary settle
+
+    def invariants(self, ctx: ChaosContext) -> list[Invariant]:
+        return [
+            _FailoverPreservedData(self.table),
+            QuerySCNMonotonic(),
+            NoGapSkip(),
+        ]
+
+
+# ----------------------------------------------------------------------
+SCENARIOS: dict[str, type[Scenario]] = {
+    cls.name: cls
+    for cls in (
+        Scenario,
+        ShippingOutage,
+        FALGapStorm,
+        DupReorder,
+        WorkerCrashFlush,
+        PublishStall,
+        RestartStorm,
+        RACChaos,
+        FailoverMidFlush,
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]()
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None

@@ -26,6 +26,7 @@ waiting for a cold re-population.
 
 from __future__ import annotations
 
+from repro.chaos import sites
 from repro.common.errors import InvalidStateError
 from repro.common.ids import InstanceId
 from repro.common.scn import SCNClock
@@ -127,7 +128,15 @@ def failover(
     timeout: float = 600.0,
 ) -> PrimaryDatabase:
     """Terminal recovery + activation; detaches the apply pipeline."""
+    chaos = sites.declare("db.failover", owner=standby)
+    if chaos.injectors is not None:
+        decision = chaos.consult("begin", query_scn=standby.query_scn.value)
+        if decision.action is sites.Action.DELAY and decision.delay > 0:
+            # failure detection / decision lag before the role transition
+            sched.run_for(decision.delay)
     terminal_recovery(standby, sched, timeout)
+    if chaos.injectors is not None:
+        chaos.consult("terminal_recovered", query_scn=standby.query_scn.value)
     # the apply pipeline stops: the old primary is gone
     sched.remove_actor(standby.merger)
     sched.remove_actor(standby.coordinator)
@@ -140,4 +149,6 @@ def failover(
             sched.remove_actor(actor)
     primary = activate(standby, sched, n_instances)
     primary.attach_actors(sched, heartbeats=False)
+    if chaos.injectors is not None:
+        chaos.consult("activated", query_scn=standby.query_scn.value)
     return primary

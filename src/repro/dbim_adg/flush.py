@@ -27,6 +27,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.chaos import sites
 from repro.common.ids import DBA, ObjectId, TenantId, WorkerId
 from repro.common.scn import SCN
 from repro.dbim_adg.commit_table import CommitTableNode, IMADGCommitTable
@@ -125,6 +126,9 @@ class InvalidationFlushComponent:
         self.groups_created = 0
         self.coarse_flushes = 0
         self.ddl_processed = 0
+        #: Flush calls skipped by an installed chaos fault.
+        self.chaos_stalls = 0
+        self._chaos = sites.declare("flush.worklink", owner=self)
 
     # ------------------------------------------------------------------
     # AdvanceProtocol
@@ -162,6 +166,15 @@ class InvalidationFlushComponent:
         worklink = self.worklink
         if worklink is None or not worklink.nodes:
             return 0
+        chaos = self._chaos
+        if chaos.injectors is not None:
+            decision = chaos.consult(
+                "flush", by_worker=by_worker, remaining=worklink.remaining
+            )
+            if decision.action is sites.Action.STALL:
+                # worklink draining held back; the caller retries later
+                self.chaos_stalls += 1
+                return 0
         flushed = 0
         while worklink.nodes and flushed < batch:
             node = worklink.nodes.popleft()

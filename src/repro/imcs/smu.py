@@ -101,6 +101,20 @@ class SMU:
                     mask[position] = False
         return mask
 
+    def invalid_rowids(self) -> list[RowId]:
+        """Rowids currently marked invalid (row- or block-level).
+
+        Repopulation swap uses this to carry invalidations the outgoing
+        unit saw *after* the incoming unit's snapshot was captured -- see
+        ``InMemoryColumnStore.register_unit``.
+        """
+        mask = self.valid_row_mask()
+        return [
+            rowid
+            for position, rowid in enumerate(self.imcu.rowids)
+            if not mask[position]
+        ]
+
     @property
     def invalid_count(self) -> int:
         if self.fully_invalid:

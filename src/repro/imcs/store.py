@@ -171,18 +171,40 @@ class InMemoryColumnStore:
             # covered + older than snapshot: already in the IMCU's data
         segment.pending = still_pending
 
-        replaced: set[int] = set()
+        replaced: dict[int, SMU] = {}
         for dba in imcu.covered_dbas:
             old = segment.dba_to_unit.get(dba)
-            if old is not None and id(old) not in replaced:
-                replaced.add(id(old))
+            if old is not None:
+                replaced.setdefault(id(old), old)
             segment.dba_to_unit[dba] = smu
+        for old in replaced.values():
+            self._carry_invalidations(old, smu)
         if replaced:
             segment.units = [
                 unit for unit in segment.units if id(unit) not in replaced
             ]
         segment.units.append(smu)
         return smu
+
+    def _carry_invalidations(self, old: SMU, smu: SMU) -> None:
+        """Preserve invalidations a repopulation swap would otherwise lose.
+
+        The incoming IMCU was built at a snapshot captured *before* the
+        swap; any invalidation the outgoing unit recorded after that
+        snapshot describes a change the new data cannot contain.  The SMU
+        tracks only a boolean mask plus the highest invalidation SCN, so
+        when that SCN exceeds the new snapshot every invalid row of the old
+        unit is conservatively re-marked in the new one -- extra invalid
+        rows merely fall back to the row store, while a missed one would
+        serve stale data forever.
+        """
+        if old.last_invalidation_scn <= smu.imcu.snapshot_scn:
+            return
+        for rowid in old.invalid_rowids():
+            if smu.imcu.covers_dba(rowid.dba):
+                self._apply_to_smu(
+                    smu, rowid.dba, (rowid.slot,), old.last_invalidation_scn
+                )
 
     def drop_units(self, object_id: ObjectId) -> int:
         """Drop every unit of an object (DDL response).  Pinned SMUs are

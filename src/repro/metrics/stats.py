@@ -11,13 +11,12 @@ import math
 from typing import Sequence
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (q in [0, 100])."""
-    if not values:
+def _percentile_of_sorted(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sequence."""
+    if not ordered:
         raise ValueError("no values")
     if not 0 <= q <= 100:
         raise ValueError("percentile must be within [0, 100]")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (len(ordered) - 1) * q / 100.0
@@ -29,22 +28,39 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[low] * (1 - weight) + ordered[high] * weight
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100])."""
+    return _percentile_of_sorted(sorted(values), q)
+
+
 class LatencySeries:
-    """Accumulates response-time samples for one query."""
+    """Accumulates response-time samples for one query.
+
+    Percentile reads share one cached sorted copy of the samples,
+    invalidated by ``record`` -- ``summary()`` sorts once, not once per
+    percentile.
+    """
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.samples: list[float] = []
+        self._sorted: list[float] | None = None
 
     def record(self, value: float) -> None:
         self.samples.append(value)
+        self._sorted = None
+
+    def _ordered(self) -> list[float]:
+        if self._sorted is None or len(self._sorted) != len(self.samples):
+            self._sorted = sorted(self.samples)
+        return self._sorted
 
     def __len__(self) -> int:
         return len(self.samples)
 
     @property
     def median(self) -> float:
-        return percentile(self.samples, 50)
+        return _percentile_of_sorted(self._ordered(), 50)
 
     @property
     def average(self) -> float:
@@ -52,7 +68,7 @@ class LatencySeries:
 
     @property
     def p95(self) -> float:
-        return percentile(self.samples, 95)
+        return _percentile_of_sorted(self._ordered(), 95)
 
     def summary(self) -> dict[str, float]:
         """The paper's triple: median / average / 95th percentile."""
@@ -105,6 +121,8 @@ class TimeSeries:
 
     def max_gap_to(self, other: "TimeSeries") -> float:
         """Max over sample times of (self - other): peak lag metric."""
+        if not self.points:
+            raise ValueError("empty series")
         return max(
             value - other.value_at(t) for t, value in self.points
         )

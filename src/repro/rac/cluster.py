@@ -95,6 +95,16 @@ class StandbySatellite:
         )
         self.scan_engine = ScanEngine(self.imcs, master.txn_table)
         self.groups_received = 0
+        #: Batch sequences already accepted -- duplicated interconnect
+        #: messages are re-acked but never re-staged.
+        self._applied_sequences: set[int] = set()
+        #: Batches received but not yet flushed to SMUs.  Applying is
+        #: deferred to the next local QuerySCN publish (under the same
+        #: exclusive quiesce section) so a population capture can never
+        #: interleave between an invalidation and the publish that makes
+        #: it necessary -- otherwise a block populated at the stale local
+        #: QuerySCN would silently miss the already-consumed invalidation.
+        self._staged: list[_InvalidationBatch] = []
         interconnect.register(instance_id, self._receive)
 
     # -- population ------------------------------------------------------
@@ -114,14 +124,9 @@ class StandbySatellite:
     # -- local recovery coordinator ---------------------------------------
     def _receive(self, from_instance: InstanceId, payload: object) -> None:
         if isinstance(payload, _InvalidationBatch):
-            for group in payload.groups:
-                for dba, slots in group.blocks.items():
-                    self.imcs.invalidate(
-                        group.object_id, dba, slots, group.commit_scn
-                    )
-                self.groups_received += 1
-            for tenant, scn in payload.coarse_tenants:
-                self.imcs.invalidate_tenant(tenant, scn)
+            if payload.sequence not in self._applied_sequences:
+                self._applied_sequences.add(payload.sequence)
+                self._staged.append(payload)
             self.interconnect.send(
                 self.instance_id,
                 self.master_instance_id,
@@ -136,6 +141,7 @@ class StandbySatellite:
                 )
                 return
             try:
+                self._apply_staged()
                 self.query_scn.publish(
                     payload.scn, at_time=self.interconnect.sched.now
                 )
@@ -143,6 +149,19 @@ class StandbySatellite:
                 self.quiesce_lock.release_exclusive(self)
         else:
             raise TypeError(f"unexpected payload {payload!r}")
+
+    def _apply_staged(self) -> None:
+        """Flush staged invalidation groups to this instance's SMUs."""
+        for batch in self._staged:
+            for group in batch.groups:
+                for dba, slots in group.blocks.items():
+                    self.imcs.invalidate(
+                        group.object_id, dba, slots, group.commit_scn
+                    )
+                self.groups_received += 1
+            for tenant, scn in batch.coarse_tenants:
+                self.imcs.invalidate_tenant(tenant, scn)
+        self._staged.clear()
 
     def attach_actors(self, sched: Scheduler) -> None:
         for i in range(self.config.imcs.population_workers):
@@ -181,7 +200,9 @@ class RemoteInvalidationRouter:
         self.interconnect = interconnect
         self.batch_size = batch_size
         self._pending: dict[InstanceId, _InvalidationBatch] = {}
-        self._outstanding_acks = 0
+        #: Sequences sent but not yet acknowledged.  A set keyed by batch
+        #: sequence keeps duplicated messages/acks idempotent.
+        self._outstanding_acks: set[int] = set()
         self._sequence = 0
         self.groups_routed_local = 0
         self.groups_routed_remote = 0
@@ -218,7 +239,7 @@ class RemoteInvalidationRouter:
 
     def drained(self) -> bool:
         self.flush_buffers()
-        return self._outstanding_acks == 0
+        return not self._outstanding_acks
 
     # -- batching / pipelining -----------------------------------------
     def _buffer(self, instance: InstanceId) -> _InvalidationBatch:
@@ -240,13 +261,13 @@ class RemoteInvalidationRouter:
 
     def _send(self, instance: InstanceId, batch: _InvalidationBatch) -> None:
         del self._pending[instance]
-        self._outstanding_acks += 1
+        self._outstanding_acks.add(batch.sequence)
         self.interconnect.send(
             self.master_instance_id, instance, batch, size_hint=batch.size
         )
 
     def on_ack(self, from_instance: InstanceId, ack: _Ack) -> None:
-        self._outstanding_acks -= 1
+        self._outstanding_acks.discard(ack.sequence)
 
 
 # ----------------------------------------------------------------------

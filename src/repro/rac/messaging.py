@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.chaos import sites
 from repro.common.ids import InstanceId
 from repro.sim.scheduler import Scheduler
 
@@ -30,6 +31,10 @@ class Interconnect:
         self._last_delivery: dict[tuple[InstanceId, InstanceId], float] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Messages lost / duplicated by installed chaos faults.
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self._chaos = sites.declare("rac.message", owner=self)
 
     def register(
         self,
@@ -54,12 +59,29 @@ class Interconnect:
         handler = self._handlers.get(to_instance)
         if handler is None:
             raise KeyError(f"no handler registered for instance {to_instance}")
+        latency = self.latency
+        copies = 1
+        chaos = self._chaos
+        if chaos.injectors is not None:
+            decision = chaos.consult(
+                "send", src=from_instance, dst=to_instance, size=size_hint
+            )
+            if decision.action is sites.Action.DROP:
+                self.messages_dropped += 1
+                return
+            if decision.action is sites.Action.DELAY:
+                latency += decision.delay
+            elif decision.action is sites.Action.DUPLICATE:
+                copies = 2
+                self.messages_duplicated += 1
         channel = (from_instance, to_instance)
         earliest = max(
-            self.sched.now + self.latency,
+            self.sched.now + latency,
             self._last_delivery.get(channel, 0.0),
         )
-        self._last_delivery[channel] = earliest
-        self.messages_sent += 1
-        self.bytes_sent += size_hint
-        self.sched.call_at(earliest, lambda: handler(from_instance, payload))
+        for copy in range(copies):
+            when = earliest + copy * self.latency
+            self._last_delivery[channel] = when
+            self.messages_sent += 1
+            self.bytes_sent += size_hint
+            self.sched.call_at(when, lambda: handler(from_instance, payload))

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
+from repro.chaos import sites
 from repro.common.ids import InstanceId
 from repro.common.scn import NULL_SCN, SCN
 from repro.redo.log import LogReader, RedoLog
@@ -38,28 +39,76 @@ class RedoReceiver:
         self.received_scn: dict[InstanceId, SCN] = {}
         #: Next expected log position per thread (gap detection).
         self._expected_position: dict[InstanceId, int] = {}
+        #: Records landed (queued for merge) per thread -- with contiguous
+        #: delivery this always equals the expected-position watermark.
+        self.records_landed: dict[InstanceId, int] = {}
         #: fal_fetch(thread, lo, hi) -> list[RedoRecord]: fetches the
         #: positions [lo, hi) from the primary's archived logs.
         self.fal_fetch = fal_fetch
         self.gaps_resolved = 0
         self.gap_records_fetched = 0
+        #: Already-received records discarded on redelivery (duplicated or
+        #: reordered shipments; redo application must stay exactly-once).
+        self.duplicates_discarded = 0
+        #: Whole batches dropped by an installed chaos fault.
+        self.batches_dropped = 0
+        self._chaos = sites.declare("redo.receive", owner=self)
 
     def register_thread(self, thread: InstanceId) -> None:
         self._queues.setdefault(thread, deque())
         self.received_scn.setdefault(thread, NULL_SCN)
         self._expected_position.setdefault(thread, 0)
+        self.records_landed.setdefault(thread, 0)
+
+    def expected_position(self, thread: InstanceId) -> int:
+        """The gap-tracking watermark: next log position expected."""
+        return self._expected_position[thread]
 
     def deliver(
-        self, records: list[RedoRecord], position: int | None = None
+        self,
+        records: list[RedoRecord],
+        position: int | None = None,
+        thread: InstanceId | None = None,
     ) -> None:
         """Land a batch.  ``position`` is the batch's starting position in
-        its thread's log; None disables gap tracking (direct test use)."""
-        if position is not None and records:
-            thread = records[0].thread
+        its thread's log; None disables gap tracking (direct test use).
+        An empty tracked batch (a zero-record shipment) must name its
+        ``thread`` explicitly so gap tracking can still advance.
+        """
+        chaos = self._chaos
+        if chaos.injectors is not None:
+            decision = chaos.consult(
+                "deliver",
+                thread=records[0].thread if records else thread,
+                position=position,
+                count=len(records),
+            )
+            if decision.action is sites.Action.DROP:
+                self.batches_dropped += 1
+                return
+        if position is not None:
+            if records:
+                thread = records[0].thread
+            elif thread is None:
+                raise ValueError(
+                    "empty tracked shipment: gap tracking needs an "
+                    "explicit thread"
+                )
             expected = self._expected_position[thread]
             if position > expected:
+                # an archive gap -- even a zero-record shipment starting
+                # beyond the watermark proves redo was lost in between
                 self._resolve_gap(thread, expected, position)
+                expected = position
+            elif position < expected:
+                # redelivery (duplicated or reordered shipment): the
+                # prefix up to the watermark already landed -- discard it
+                already = min(expected - position, len(records))
+                self.duplicates_discarded += already
+                records = records[already:]
+                position = expected
             self._expected_position[thread] = position + len(records)
+            self.records_landed[thread] += len(records)
         for record in records:
             self._queues[record.thread].append(record)
             if record.scn > self.received_scn[record.thread]:
@@ -80,6 +129,7 @@ class RedoReceiver:
             self._queues[record.thread].append(record)
             if record.scn > self.received_scn[record.thread]:
                 self.received_scn[record.thread] = record.scn
+        self.records_landed[thread] += hi - lo
         self.gaps_resolved += 1
         self.gap_records_fetched += hi - lo
 
@@ -119,6 +169,9 @@ class LogShipper(Actor):
         self.batch = batch
         self.node = node
         self.name = name or f"shipper-t{log.thread}"
+        #: Records lost in transit by an installed chaos fault.
+        self.records_dropped = 0
+        self._chaos = sites.declare("redo.ship", owner=self)
         receiver.register_thread(log.thread)
 
     @property
@@ -136,7 +189,28 @@ class LogShipper(Actor):
         if not records:
             return None
         receiver = self._receiver
+        latency = self.latency
+        chaos = self._chaos
+        if chaos.injectors is not None:
+            decision = chaos.consult(
+                "ship",
+                thread=records[0].thread,
+                position=position,
+                count=len(records),
+            )
+            if decision.action is sites.Action.DROP:
+                # lost in transit: the reader advanced, creating an
+                # archive gap the receiver will FAL-heal
+                self.records_dropped += len(records)
+                return self.COST_PER_RECORD * len(records)
+            if decision.action is sites.Action.DELAY:
+                latency += decision.delay
+            elif decision.action is sites.Action.DUPLICATE:
+                sched.call_after(
+                    latency + self.latency,
+                    lambda: receiver.deliver(records, position),
+                )
         sched.call_after(
-            self.latency, lambda: receiver.deliver(records, position)
+            latency, lambda: receiver.deliver(records, position)
         )
         return self.COST_PER_RECORD * len(records)

@@ -75,5 +75,14 @@ class TransactionTable:
     def is_finished(self, xid: TransactionId) -> bool:
         return self._states.get(xid) in (TxnState.COMMITTED, TxnState.ABORTED)
 
+    def open_transactions(self) -> list[TransactionId]:
+        """Transactions still ACTIVE or PREPARED (e.g. for invariant
+        checks: the journal may buffer exactly these)."""
+        return [
+            xid
+            for xid, state in self._states.items()
+            if state in (TxnState.ACTIVE, TxnState.PREPARED)
+        ]
+
     def __len__(self) -> int:
         return len(self._states)

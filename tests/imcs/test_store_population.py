@@ -104,6 +104,65 @@ class TestStore:
         smu = store.unit_covering(oid, rowids[0].dba)
         assert smu.invalid_count == 0
 
+    def test_repopulation_swap_preserves_newer_invalidations(
+        self, wide_table, txns, clock
+    ):
+        """An invalidation recorded after a replacement IMCU's snapshot was
+        captured must carry over into the new SMU -- otherwise the swap
+        silently forgets the change and the unit serves stale data forever
+        (found by the rac_chaos partition scenario)."""
+        from repro.imcs.imcu import IMCU
+
+        store = InMemoryColumnStore()
+        store.enable(wide_table)
+        __, rowids = load_rows(wide_table, txns, clock, 10)
+        engine = make_engine(store, txns, clock)
+        engine.schedule_all()
+        drain(engine)
+        oid = wide_table.default_partition.object_id
+        old_unit = store.unit_covering(oid, rowids[0].dba)
+        stale_snapshot = clock.current
+        # a commit after the replacement's snapshot invalidates one row
+        store.invalidate(
+            oid, rowids[0].dba, (rowids[0].slot,), scn=stale_snapshot + 100
+        )
+        assert old_unit.invalid_count == 1
+
+        replacement = IMCU.build(
+            wide_table.default_partition.segment, wide_table.schema,
+            wide_table.tenant, list(old_unit.imcu.covered_dbas),
+            stale_snapshot, txns,
+        )
+        new_smu = store.register_unit(replacement)
+        assert store.unit_covering(oid, rowids[0].dba) is new_smu
+        assert new_smu.invalid_count == 1  # carried across the swap
+
+    def test_repopulation_swap_at_covering_snapshot_carries_nothing(
+        self, wide_table, txns, clock
+    ):
+        """A replacement built at a snapshot at or past the last
+        invalidation already contains the current data: nothing carries."""
+        from repro.imcs.imcu import IMCU
+
+        store = InMemoryColumnStore()
+        store.enable(wide_table)
+        __, rowids = load_rows(wide_table, txns, clock, 10)
+        engine = make_engine(store, txns, clock)
+        engine.schedule_all()
+        drain(engine)
+        oid = wide_table.default_partition.object_id
+        old_unit = store.unit_covering(oid, rowids[0].dba)
+        inval_scn = clock.current + 100
+        store.invalidate(oid, rowids[0].dba, (rowids[0].slot,), scn=inval_scn)
+
+        replacement = IMCU.build(
+            wide_table.default_partition.segment, wide_table.schema,
+            wide_table.tenant, list(old_unit.imcu.covered_dbas),
+            inval_scn, txns,
+        )
+        new_smu = store.register_unit(replacement)
+        assert new_smu.invalid_count == 0
+
     def test_invalidate_tenant_coarse(self, wide_table, txns, clock):
         store = InMemoryColumnStore()
         store.enable(wide_table)

@@ -44,6 +44,32 @@ class TestLatencySeries:
         assert summary["average"] == 22.0
         assert summary["p95"] > 4.0
 
+    def test_summary_sorts_once_not_per_percentile(self):
+        series = LatencySeries("Q1")
+        for v in [5.0, 1.0, 3.0]:
+            series.record(v)
+        sort_calls = 0
+        original = series._ordered
+
+        def counting():
+            nonlocal sort_calls
+            if series._sorted is None:
+                sort_calls += 1
+            return original()
+
+        series._ordered = counting
+        series.summary()
+        assert sort_calls == 1  # median and p95 shared one sorted copy
+
+    def test_record_invalidates_the_sorted_cache(self):
+        series = LatencySeries("Q1")
+        series.record(10.0)
+        series.record(20.0)
+        assert series.median == 15.0  # builds the cache
+        series.record(0.0)  # must invalidate it
+        assert series.median == 10.0
+        assert series.p95 == pytest.approx(19.0)
+
 
 class TestTimeSeries:
     def test_value_at_steps(self):
@@ -67,6 +93,12 @@ class TestTimeSeries:
     def test_empty_value_at_raises(self):
         with pytest.raises(ValueError):
             TimeSeries().value_at(1.0)
+
+    def test_empty_max_gap_to_raises_with_message(self):
+        other = TimeSeries("other")
+        other.record(0.0, 1.0)
+        with pytest.raises(ValueError, match="empty series"):
+            TimeSeries().max_gap_to(other)
 
 
 class TestRender:

@@ -69,6 +69,99 @@ class TestReceiverGapHandling:
             receiver.deliver([rec(30)], position=5)
 
 
+class TestReceiverGapEdges:
+    def _fal_log(self, n=20):
+        log = RedoLog(1)
+        for scn in range(10, 10 + n):
+            log.append(rec(scn))
+
+        def fal(thread, lo, hi):
+            return [log.record_at(i) for i in range(lo, hi)]
+
+        return log, fal
+
+    def test_gap_at_position_zero(self):
+        """The very first shipment already starts beyond the watermark:
+        positions [0, first) must be FAL-fetched, not silently skipped."""
+        log, fal = self._fal_log()
+        receiver = RedoReceiver(fal_fetch=fal)
+        receiver.register_thread(1)
+        receiver.deliver([log.record_at(3)], position=3)
+        assert receiver.gaps_resolved == 1
+        assert receiver.gap_records_fetched == 3
+        assert receiver.expected_position(1) == 4
+        scns = sorted(r.scn for r in receiver.queue(1))
+        assert scns == [10, 11, 12, 13]
+
+    def test_back_to_back_gaps_same_thread(self):
+        log, fal = self._fal_log()
+        receiver = RedoReceiver(fal_fetch=fal)
+        receiver.register_thread(1)
+        receiver.deliver([log.record_at(0)], position=0)
+        receiver.deliver([log.record_at(5)], position=5)   # gap [1, 5)
+        receiver.deliver([log.record_at(9)], position=9)   # gap [6, 9)
+        assert receiver.gaps_resolved == 2
+        assert receiver.gap_records_fetched == 7
+        assert receiver.expected_position(1) == 10
+        scns = sorted(r.scn for r in receiver.queue(1))
+        assert scns == list(range(10, 20))
+
+    def test_short_nonempty_fal_answer_rejected(self):
+        """A FAL source that returns *some* records but not the whole gap
+        is as unusable as an empty one."""
+        log, fal = self._fal_log()
+        short = lambda thread, lo, hi: fal(thread, lo, hi)[:-1]
+        receiver = RedoReceiver(fal_fetch=short)
+        receiver.register_thread(1)
+        receiver.deliver([log.record_at(0)], position=0)
+        with pytest.raises(RuntimeError, match="FAL returned 3"):
+            receiver.deliver([log.record_at(5)], position=5)
+
+    def test_empty_tracked_shipment_advances_gap_tracking(self):
+        """A zero-record shipment whose position is beyond the watermark
+        still proves redo was lost in between -- it must FAL-heal and
+        advance the watermark, not fall through untracked."""
+        log, fal = self._fal_log()
+        receiver = RedoReceiver(fal_fetch=fal)
+        receiver.register_thread(1)
+        receiver.deliver([], position=4, thread=1)
+        assert receiver.gaps_resolved == 1
+        assert receiver.gap_records_fetched == 4
+        assert receiver.expected_position(1) == 4
+        assert receiver.records_landed[1] == 4
+
+    def test_empty_tracked_shipment_requires_thread(self):
+        receiver = RedoReceiver()
+        receiver.register_thread(1)
+        with pytest.raises(ValueError, match="explicit thread"):
+            receiver.deliver([], position=4)
+
+    def test_duplicate_redelivery_discarded(self):
+        """Redelivering an already-landed batch (duplicated or reordered
+        shipment) must not apply redo twice."""
+        log, fal = self._fal_log()
+        receiver = RedoReceiver(fal_fetch=fal)
+        receiver.register_thread(1)
+        batch = [log.record_at(i) for i in range(3)]
+        receiver.deliver(batch, position=0)
+        receiver.deliver(batch, position=0)  # exact duplicate
+        assert receiver.duplicates_discarded == 3
+        assert len(receiver.queue(1)) == 3
+        assert receiver.expected_position(1) == 3
+
+    def test_partially_overlapping_redelivery_keeps_the_new_suffix(self):
+        log, fal = self._fal_log()
+        receiver = RedoReceiver(fal_fetch=fal)
+        receiver.register_thread(1)
+        receiver.deliver([log.record_at(i) for i in range(3)], position=0)
+        # positions 1..4: 1 and 2 already landed, 3 and 4 are new
+        receiver.deliver([log.record_at(i) for i in range(1, 5)], position=1)
+        assert receiver.duplicates_discarded == 2
+        assert receiver.expected_position(1) == 5
+        scns = sorted(r.scn for r in receiver.queue(1))
+        assert scns == list(range(10, 15))
+
+
 class TestEndToEndGap:
     def test_dropped_shipments_heal_and_standby_stays_consistent(self):
         """Fault injection: lose records in transit mid-workload; the
