@@ -30,7 +30,7 @@ from repro.workload.oltap import (
     wide_table_def,
 )
 
-from conftest import bench_system_config, save_report
+from conftest import bench_system_config, save_json, save_report
 
 DURATION = 4.0
 
@@ -149,6 +149,34 @@ def test_fig11_redo_apply_lag(rac_run, benchmark):
     # the DBIM machinery really ran: mining + flush happened on the standby
     assert deployment.standby.miner.data_records_mined > 100
     assert deployment.standby.flush.nodes_flushed > 10
+
+    # wall-clock for the recovery-critical stages (best of N)
+    import time
+
+    def best_of(fn, repeats=25) -> float:
+        best = float("inf")
+        for __ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_consistency = best_of(deployment.standby.coordinator.consistency_point)
+    ops_total = sum(d.ops_issued for d in drivers)
+    save_json("apply_lag", {
+        "bench": "fig11_redo_apply_lag",
+        "duration_simulated_s": DURATION,
+        "ops_issued": ops_total,
+        "ops_per_simulated_s": ops_total / DURATION,
+        "total_redo_scns": total_scns,
+        "worst_query_scn_gap_scns": worst_gap,
+        "final_redo_lag_scns": deployment.redo_lag_scns,
+        "data_records_mined": deployment.standby.miner.data_records_mined,
+        "invalidation_nodes_flushed": deployment.standby.flush.nodes_flushed,
+        "wall_clock": {
+            "consistency_point_s": t_consistency,
+        },
+    })
 
     # wall-clock: one recovery-coordinator progress computation
     benchmark(deployment.standby.coordinator.consistency_point)

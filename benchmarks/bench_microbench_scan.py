@@ -6,13 +6,25 @@ time through the actual code paths: a row-at-a-time consistent-read scan
 vs the vectorised In-Memory Scan Engine, on the same table, same snapshot,
 same predicate.
 
+Two configurations are timed:
+
+* **clean** -- freshly populated IMCUs, no invalidations: pure columnar
+  kernels (predicate masks, batch projection, storage-index pruning).
+* **heavy-invalidation** -- a mix of row-level and block-level SMU
+  invalidations over ~1/3 of the table: every scan reconciles the invalid
+  rows through the row store, exercising the cached-validity-mask,
+  block-grouped-fetch reconcile path.
+
 The paper's "orders of magnitude" claim is hardware-specific; here we
 assert a conservative >= 10x measured gap (typically 30-100x for this
 table size), plus storage-index pruning being visibly cheaper still.
+Machine-readable numbers land in ``benchmarks/results/BENCH_scan.json``
+(see EXPERIMENTS.md for how to read them).
 """
 
 from __future__ import annotations
 
+import random
 import time
 
 import pytest
@@ -21,7 +33,24 @@ from repro.db.deployment import InMemoryService
 from repro.imcs.scan import Predicate
 from repro.metrics.render import render_table
 
-from conftest import bench_oltap_config, run_scenario, save_report
+from conftest import bench_oltap_config, run_scenario, save_json, save_report
+
+#: Fractions of the table invalidated for the heavy configuration.
+HEAVY_ROW_FRACTION = 0.25
+HEAVY_BLOCK_FRACTION = 0.10
+
+#: Wall-clock numbers measured at the commit *before* the vectorised
+#: kernels landed (same harness, same machine class), kept so the JSON
+#: report always carries the before/after comparison.
+PRE_PR_BASELINE = {
+    "clean_columnar_s": 0.0002467,
+    "heavy_columnar_s": 0.0051898,
+    "row_format_s": 0.0091295,
+}
+
+#: Results stashed by the clean test for the JSON report written by the
+#: heavy test (tests run in definition order within the module).
+_RESULTS: dict = {}
 
 
 @pytest.fixture(scope="module")
@@ -86,4 +115,121 @@ def test_columnar_vs_rowformat_wall_clock(scenario, benchmark):
     assert t_row / t_col >= 10, f"columnar only {t_row / t_col:.1f}x faster"
     assert t_prune <= t_col * 1.5  # pruning never slower than scanning
 
+    n_rows = workload.config.n_rows
+    _RESULTS["clean"] = {
+        "row_format_s": t_row,
+        "columnar_s": t_col,
+        "pruned_s": t_prune,
+        "speedup_vs_row_format": t_row / t_col,
+        "rows_per_s": n_rows / t_col,
+        "table_rows": n_rows,
+    }
+
     benchmark(columnar)
+
+
+def test_heavy_invalidation_scan(scenario, benchmark):
+    """Reconcile-dominated scan: ~1/3 of the table is SMU-invalid."""
+    deployment, workload = scenario
+    standby = deployment.standby
+    table_name = workload.config.table_name
+    table = standby.catalog.table(table_name)
+    snapshot = standby.query_scn.value
+    predicate = Predicate.eq("n1", 1234.0)
+    object_id = table.default_partition.object_id
+    segment = standby.imcs.segment(object_id)
+
+    rng = random.Random(7)
+    invalid_rows = 0
+    invalid_blocks = 0
+    for smu in segment.live_units():
+        imcu = smu.imcu
+        # row-level invalidations (each lands on the real SMU path)
+        k = int(imcu.n_rows * HEAVY_ROW_FRACTION)
+        for position in rng.sample(range(imcu.n_rows), k=k):
+            rowid = imcu.rowids[position]
+            standby.imcs.invalidate(
+                object_id, rowid.dba, (rowid.slot,), snapshot
+            )
+        invalid_rows += k
+        # block-level invalidations (expand through positions_for_dba)
+        dbas = list(imcu.covered_dbas)
+        n_blocks = max(1, int(len(dbas) * HEAVY_BLOCK_FRACTION))
+        for dba in rng.sample(dbas, k=n_blocks):
+            standby.imcs.invalidate(object_id, dba, (), snapshot)
+        invalid_blocks += n_blocks
+
+    def heavy():
+        return standby.query(table_name, [predicate])
+
+    # marking rows invalid must not change the answer (monotone fallback)
+    reference = [
+        values
+        for __, values in table.full_scan(snapshot, standby.txn_table)
+        if predicate.eval_row(values, table.schema)
+    ]
+    got = heavy()
+    assert sorted(r[0] for r in reference) == sorted(r[0] for r in got.rows)
+    assert got.stats.fallback_rows > 0  # the reconcile path really ran
+
+    t_heavy = wall_time(heavy, repeats=10)
+    n_rows = workload.config.n_rows
+    clean = _RESULTS.get("clean", {})
+    payload = {
+        "bench": "microbench_scan",
+        "table_rows": n_rows,
+        "columns": 101,
+        "configs": {
+            "clean": clean,
+            "heavy_invalidation": {
+                "columnar_s": t_heavy,
+                "rows_per_s": n_rows / t_heavy,
+                "invalid_rows_marked": invalid_rows,
+                "invalid_blocks_marked": invalid_blocks,
+                "fallback_rows_per_scan": got.stats.fallback_rows,
+                "table_rows": n_rows,
+            },
+        },
+        "pre_pr_baseline": PRE_PR_BASELINE,
+    }
+    baseline = PRE_PR_BASELINE
+    if baseline.get("heavy_columnar_s"):
+        payload["speedup_vs_pre_pr"] = {
+            "heavy_invalidation": baseline["heavy_columnar_s"] / t_heavy,
+            "clean": (
+                baseline["clean_columnar_s"] / clean["columnar_s"]
+                if clean.get("columnar_s")
+                else None
+            ),
+        }
+        if clean.get("row_format_s"):
+            # The row-format CR scan is untouched by the kernel work, so
+            # its same-run time is the per-machine yardstick: drift > 1
+            # means the host is slower than when the baseline was taken,
+            # and the raw ratios above understate the improvement.
+            drift = clean["row_format_s"] / baseline["row_format_s"]
+            payload["speedup_vs_pre_pr_normalized"] = {
+                "machine_drift_row_format": drift,
+                "heavy_invalidation": (
+                    baseline["heavy_columnar_s"] / t_heavy * drift
+                ),
+                "clean": (
+                    baseline["clean_columnar_s"] / clean["columnar_s"] * drift
+                ),
+            }
+    save_json("scan", payload)
+    save_report(
+        "microbench_scan_heavy",
+        render_table(
+            ["configuration", "wall time (ms)", "rows/s"],
+            [
+                ["clean columnar", clean.get("columnar_s", 0.0) * 1e3,
+                 clean.get("rows_per_s", 0.0)],
+                ["heavy invalidation", t_heavy * 1e3, n_rows / t_heavy],
+            ],
+            title=f"Scan configurations ({invalid_rows} invalid rows + "
+                  f"{invalid_blocks} invalid blocks of {n_rows} rows)",
+        ),
+    )
+
+    benchmark(heavy)

@@ -14,6 +14,7 @@ output survives in CI logs and in the repository.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -30,6 +31,19 @@ def save_report(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+
+
+def save_json(name: str, payload: dict) -> pathlib.Path:
+    """Machine-readable benchmark output: ``benchmarks/results/BENCH_<name>.json``.
+
+    CI uploads these as artifacts so perf regressions are diffable across
+    runs without scraping the rendered tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[saved to {path}]")
+    return path
 
 
 def bench_system_config(**overrides) -> SystemConfig:

@@ -1,0 +1,53 @@
+"""Ad-hoc profiler for the scan paths (not part of the bench suite).
+
+Run: cd benchmarks && PYTHONPATH=../src python profile_scan.py [clean|heavy]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import random
+import sys
+
+from repro.db.deployment import InMemoryService
+from repro.imcs.scan import Predicate
+
+from conftest import bench_oltap_config, run_scenario
+
+MODE = sys.argv[1] if len(sys.argv) > 1 else "heavy"
+
+config = bench_oltap_config(duration=0.5, pct_update=0.0, pct_scan=0.0)
+deployment, workload = run_scenario(config, service=InMemoryService.STANDBY)
+standby = deployment.standby
+table_name = workload.config.table_name
+table = standby.catalog.table(table_name)
+snapshot = standby.query_scn.value
+predicate = Predicate.eq("n1", 1234.0)
+
+if MODE == "heavy":
+    object_id = table.default_partition.object_id
+    segment = standby.imcs.segment(object_id)
+    rng = random.Random(7)
+    for smu in segment.live_units():
+        imcu = smu.imcu
+        for position in rng.sample(range(imcu.n_rows), k=int(imcu.n_rows * 0.25)):
+            rowid = imcu.rowids[position]
+            standby.imcs.invalidate(object_id, rowid.dba, (rowid.slot,), snapshot)
+        dbas = list(imcu.covered_dbas)
+        for dba in rng.sample(dbas, k=max(1, len(dbas) // 10)):
+            standby.imcs.invalidate(object_id, dba, (), snapshot)
+
+
+def run(n=50):
+    for __ in range(n):
+        standby.query(table_name, [predicate])
+
+
+run(3)  # warm
+profiler = cProfile.Profile()
+profiler.enable()
+run(50)
+profiler.disable()
+stats = pstats.Stats(profiler)
+stats.sort_stats("cumulative").print_stats(35)

@@ -64,10 +64,10 @@ class LocalInvalidationRouter:
         self.groups_routed = 0
 
     def route(self, group: InvalidationGroup) -> None:
-        for dba, slots in group.blocks.items():
-            self.store.invalidate(
-                group.object_id, dba, slots, group.commit_scn
-            )
+        # group-at-once: one epoch bump / mask write per touched SMU
+        self.store.invalidate_many(
+            group.object_id, group.blocks, group.commit_scn
+        )
         self.groups_routed += 1
 
     def route_coarse(self, tenant: TenantId, scn: SCN) -> None:

@@ -148,8 +148,10 @@ class Aggregator:
                         cu._data[positions], cu._nulls[positions]
                     )
                 else:
-                    for i in positions:
-                        accumulators[column].add_value(cu.get(int(i)))
+                    # one bulk decode instead of a point get per cell
+                    add_value = accumulators[column].add_value
+                    for value in cu.take(positions):
+                        add_value(value)
             return True
 
         return hook

@@ -42,6 +42,12 @@ class ColumnCU:
         """Decoded value of row ``i`` (None for NULL)."""
         raise NotImplementedError
 
+    def take(self, positions) -> list:
+        """Decoded values for many row positions: one bulk gather + decode
+        instead of one :meth:`get` call per cell.  ``positions`` is any
+        integer sequence/ndarray; subclasses vectorise the gather."""
+        return [self.get(int(i)) for i in positions]
+
     def eq_mask(self, value: object) -> np.ndarray:
         """Boolean mask of rows equal to ``value`` (NULLs never match)."""
         raise NotImplementedError
@@ -94,6 +100,14 @@ class NumericCU(ColumnCU):
         # give back ints where the stored value is integral, so projected
         # tuples compare equal to the row-store originals
         return int(value) if value.is_integer() else float(value)
+
+    def take(self, positions) -> list:
+        values = self._data[positions].tolist()
+        nulls = self._nulls[positions].tolist()
+        return [
+            None if null else (int(v) if v.is_integer() else v)
+            for v, null in zip(values, nulls)
+        ]
 
     def eq_mask(self, value: object) -> np.ndarray:
         if value is None:
@@ -156,6 +170,13 @@ class DictionaryCU(ColumnCU):
     def get(self, i: int) -> object:
         code = self._codes[i]
         return None if code == NULL_CODE else self._dictionary[code]
+
+    def take(self, positions) -> list:
+        dictionary = self._dictionary
+        return [
+            None if code == NULL_CODE else dictionary[code]
+            for code in self._codes[positions].tolist()
+        ]
 
     def eq_mask(self, value: object) -> np.ndarray:
         if value is None or not isinstance(value, str):
@@ -225,6 +246,13 @@ class RunLengthCU(ColumnCU):
         idx = int(np.searchsorted(self._run_starts, i, side="right")) - 1
         code = self._run_codes[idx]
         return None if code == NULL_CODE else self._dictionary[code]
+
+    def take(self, positions) -> list:
+        dictionary = self._dictionary
+        return [
+            None if code == NULL_CODE else dictionary[code]
+            for code in self._codes_vector()[positions].tolist()
+        ]
 
     def eq_mask(self, value: object) -> np.ndarray:
         if value is None or not isinstance(value, str):
@@ -365,6 +393,13 @@ class SharedDictionaryCU(ColumnCU):
     def get(self, i: int) -> object:
         code = self._codes[i]
         return None if code == NULL_CODE else self.dictionary.decode(int(code))
+
+    def take(self, positions) -> list:
+        decode = self.dictionary.decode
+        return [
+            None if code == NULL_CODE else decode(code)
+            for code in self._codes[positions].tolist()
+        ]
 
     def eq_mask(self, value: object) -> np.ndarray:
         if not isinstance(value, str):

@@ -55,8 +55,12 @@ class ExternalIMCU:
         return sum(cu.memory_bytes for cu in self._columns.values())
 
     def project_rows(self, positions: np.ndarray, names: list[str]) -> list[tuple]:
-        cus = [self._columns[n] for n in names]
-        return [tuple(cu.get(int(i)) for cu in cus) for i in positions]
+        if len(positions) == 0:
+            return []
+        columns = [self._columns[n].take(positions) for n in names]
+        if len(columns) == 1:
+            return [(value,) for value in columns[0]]
+        return list(zip(*columns))
 
 
 class ExternalTable:

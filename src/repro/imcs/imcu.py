@@ -63,6 +63,14 @@ class IMCU:
         self._row_position: dict[RowId, int] = {
             rowid: i for i, rowid in enumerate(rowids)
         }
+        # cached geometry (an IMCU is immutable once built)
+        self._covered_dbas = tuple(captured_slots)
+        self._column_names = frozenset(columns)
+        #: Lazily built DBA -> (positions, slots) arrays; lets block-level
+        #: invalidations expand through numpy indexing instead of a Python
+        #: scan over every rowid.
+        self._dba_positions: Optional[dict[DBA, np.ndarray]] = None
+        self._dba_slots: Optional[dict[DBA, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -159,8 +167,8 @@ class IMCU:
         return len(self.rowids)
 
     @property
-    def covered_dbas(self) -> list[DBA]:
-        return list(self.captured_slots)
+    def covered_dbas(self) -> tuple[DBA, ...]:
+        return self._covered_dbas
 
     def covers_dba(self, dba: DBA) -> bool:
         return dba in self.captured_slots
@@ -169,9 +177,52 @@ class IMCU:
         """Row position of a physical address, or None if not captured."""
         return self._row_position.get(rowid)
 
+    def _build_dba_index(self) -> None:
+        by_dba_positions: dict[DBA, list[int]] = {}
+        by_dba_slots: dict[DBA, list[int]] = {}
+        for position, rowid in enumerate(self.rowids):
+            by_dba_positions.setdefault(rowid.dba, []).append(position)
+            by_dba_slots.setdefault(rowid.dba, []).append(rowid.slot)
+        self._dba_positions = {
+            dba: np.asarray(positions, dtype=np.int64)
+            for dba, positions in by_dba_positions.items()
+        }
+        self._dba_slots = {
+            dba: np.asarray(slots, dtype=np.int64)
+            for dba, slots in by_dba_slots.items()
+        }
+
+    def positions_for_dba(self, dba: DBA) -> np.ndarray:
+        """Row positions of every captured row of ``dba`` (ascending)."""
+        if self._dba_positions is None:
+            self._build_dba_index()
+        positions = self._dba_positions.get(dba)
+        if positions is None:
+            return np.zeros(0, dtype=np.int64)
+        return positions
+
+    def positions_for_slots(self, dba: DBA, slots) -> np.ndarray:
+        """Row positions of the captured rows at ``(dba, slot)`` for each
+        slot in ``slots``; slots the IMCU never captured are dropped."""
+        if self._dba_slots is None:
+            self._build_dba_index()
+        captured = self._dba_slots.get(dba)
+        if captured is None or captured.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        wanted = np.asarray(slots, dtype=np.int64)
+        # per-block slot arrays are ascending by construction
+        idx = np.searchsorted(captured, wanted)
+        idx_clipped = np.minimum(idx, captured.size - 1)
+        hit = captured[idx_clipped] == wanted
+        return self._dba_positions[dba][idx_clipped[hit]]
+
     @property
     def column_names(self) -> list[str]:
         return list(self._columns)
+
+    @property
+    def column_name_set(self) -> frozenset[str]:
+        return self._column_names
 
     def has_column(self, name: str) -> bool:
         return name in self._columns
@@ -205,9 +256,17 @@ class IMCU:
     def project_rows(
         self, positions: np.ndarray, names: list[str]
     ) -> list[tuple]:
-        """Materialise tuples for the given row positions."""
-        cus = [self._columns[n] for n in names]
-        return [tuple(cu.get(int(i)) for cu in cus) for i in positions]
+        """Materialise tuples for the given row positions.
+
+        One bulk :meth:`~repro.imcs.compression.ColumnCU.take` per column
+        instead of one point ``get`` per cell.
+        """
+        if len(positions) == 0:
+            return []
+        columns = [self._columns[n].take(positions) for n in names]
+        if len(columns) == 1:
+            return [(value,) for value in columns[0]]
+        return list(zip(*columns))
 
     def __repr__(self) -> str:
         return (

@@ -21,18 +21,20 @@ expression of the paper's "orders of magnitude" scan speedup.
 
 from __future__ import annotations
 
+import operator
+
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
-from repro.common.ids import DBA, RowId
+from repro.common.ids import DBA
 from repro.common.scn import SCN
 from repro.imcs.expressions import RowResolver
 from repro.imcs.imcu import IMCU
 from repro.imcs.smu import SMU
 from repro.imcs.store import InMemoryColumnStore
-from repro.rowstore.cr import TransactionView, visible_values
+from repro.rowstore.cr import TransactionView, visible_values_batch
 from repro.rowstore.table import Table
 from repro.rowstore.values import Schema
 
@@ -143,6 +145,31 @@ class Predicate:
     def eval_row(self, values: tuple, schema: Schema) -> bool:
         return self.matches(values[schema.column_index(self.column)])
 
+    def row_matcher(self):
+        """Compile to a direct closure: the op is dispatched once here,
+        not once per reconcile row (see :class:`_CompiledScan`)."""
+        op, value = self.op, self.value
+        if op == "=":
+            return lambda v: v is not None and v == value
+        if op == "!=":
+            return lambda v: v is not None and v != value
+        if op == "<":
+            return lambda v: v is not None and v < value
+        if op == "<=":
+            return lambda v: v is not None and v <= value
+        if op == ">":
+            return lambda v: v is not None and v > value
+        if op == ">=":
+            return lambda v: v is not None and v >= value
+        if op == "between":
+            value2 = self.value2
+            return lambda v: v is not None and value <= v <= value2
+        if op == "is_null":
+            return lambda v: v is None
+        if op == "is_not_null":
+            return lambda v: v is not None
+        raise ValueError(f"unknown predicate op {op!r}")
+
     # -- storage-index pruning ----------------------------------------------
     def can_prune(self, imcu: IMCU) -> bool:
         """True if the IMCU's min/max proves no row can match."""
@@ -181,6 +208,99 @@ class ScanStats:
 class ScanResult:
     rows: list[tuple] = field(default_factory=list)
     stats: ScanStats = field(default_factory=ScanStats)
+
+
+def _match_any_row(values: tuple) -> bool:
+    """Predicate-free scan: every visible row matches."""
+    return True
+
+
+class _CompiledScan:
+    """Per-partition compiled scan state.
+
+    Predicates and the projection list are resolved against the schema
+    *once per scan* -- each reconcile row then pays only a tuple index per
+    predicate instead of a name -> index lookup, and the projection is a
+    single C-level ``itemgetter`` when no expression is involved.
+    """
+
+    __slots__ = (
+        "resolver", "predicates", "names", "needed", "needed_set",
+        "matches", "_projector",
+    )
+
+    def __init__(
+        self,
+        resolver: RowResolver,
+        predicates: list[Predicate],
+        names: list[str],
+        schema: Schema,
+    ) -> None:
+        self.resolver = resolver
+        self.predicates = predicates
+        self.names = names
+        self.needed = list(dict.fromkeys(
+            [p.column for p in predicates] + list(names)
+        ))
+        self.needed_set = frozenset(self.needed)
+        expressions = resolver.expressions
+        # accessor is a column position (plain column) or a closure
+        # (In-Memory Expression evaluated against the stored row)
+        pairs = []
+        for predicate in predicates:
+            expression = (
+                expressions.get(predicate.column)
+                if expressions is not None else None
+            )
+            if expression is not None:
+                accessor = (
+                    lambda values, e=expression, s=schema: e.evaluate(values, s)
+                )
+            else:
+                accessor = schema.column_index(predicate.column)
+            pairs.append((accessor, predicate.row_matcher()))
+        if not pairs:
+            self.matches = _match_any_row
+        elif len(pairs) == 1:
+            accessor, match = pairs[0]
+            if callable(accessor):
+                self.matches = (
+                    lambda values, a=accessor, m=match: m(a(values))
+                )
+            else:
+                self.matches = (
+                    lambda values, i=accessor, m=match: m(values[i])
+                )
+        else:
+            steps = [
+                (a if callable(a) else operator.itemgetter(a), m)
+                for a, m in pairs
+            ]
+
+            def matches(values, steps=steps):
+                for accessor, match in steps:
+                    if not match(accessor(values)):
+                        return False
+                return True
+
+            self.matches = matches
+        if expressions is not None and any(
+            resolver.is_expression(name) for name in names
+        ):
+            self._projector = None  # expression values: resolve per row
+        elif len(names) == 1:
+            index = schema.column_index(names[0])
+            self._projector = lambda values, i=index: (values[i],)
+        else:
+            self._projector = operator.itemgetter(
+                *[schema.column_index(name) for name in names]
+            )
+
+    def project(self, values: tuple) -> tuple:
+        projector = self._projector
+        if projector is not None:
+            return projector(values)
+        return self.resolver.project(values, self.names)
 
 
 class ScanEngine:
@@ -242,6 +362,10 @@ class ScanEngine:
             else None
         )
         resolver = RowResolver(table.schema, expressions)
+        # Resolve predicate/projection columns once per scan; every
+        # reconcile row reuses the compiled accessors.
+        compiled = _CompiledScan(resolver, predicates, names, table.schema)
+        store = segment._store
 
         handled_dbas: set[DBA] = set()
         if im_segment is not None:
@@ -252,40 +376,37 @@ class ScanEngine:
                     continue
                 handled_dbas.update(smu.imcu.covered_dbas)
                 self._scan_unit(
-                    table, smu, snapshot_scn, predicates, names, result,
-                    resolver, on_imcu_matches,
+                    table, store, smu, snapshot_scn, compiled, result,
+                    on_imcu_matches,
                 )
 
         # Blocks with no usable columnar coverage: row-format scan.
         leftover = [d for d in segment.dbas if d not in handled_dbas]
         self._rowstore_scan_dbas(
-            table, leftover, snapshot_scn, predicates, names, result,
-            fallback=False, resolver=resolver,
+            table, store, leftover, snapshot_scn, compiled, result,
+            fallback=False,
         )
 
     # ------------------------------------------------------------------
-    def _unit_usable(self, smu: SMU, needed: list[str]) -> bool:
+    def _unit_usable(self, smu: SMU, compiled: _CompiledScan) -> bool:
         if smu.fully_invalid or smu.dropped:
             return False
-        imcu = smu.imcu
-        for name in needed:
-            if not imcu.has_column(name) or not smu.is_column_valid(name):
-                return False
-        return True
+        needed = compiled.needed_set
+        return (
+            needed <= smu.imcu.column_name_set
+            and smu.columns_valid(needed)
+        )
 
     def _scan_unit(
-        self, table, smu: SMU, snapshot_scn, predicates, names, result,
-        resolver: RowResolver, on_imcu_matches=None,
+        self, table, store, smu: SMU, snapshot_scn,
+        compiled: _CompiledScan, result, on_imcu_matches=None,
     ) -> None:
         imcu = smu.imcu
-        needed = list(dict.fromkeys(
-            [p.column for p in predicates] + list(names)
-        ))
-        if not self._unit_usable(smu, needed):
+        if not self._unit_usable(smu, compiled):
             result.stats.imcus_unusable += 1
             self._rowstore_scan_dbas(
-                table, imcu.covered_dbas, snapshot_scn,
-                predicates, names, result, fallback=True, resolver=resolver,
+                table, store, imcu.covered_dbas, snapshot_scn, compiled,
+                result, fallback=True,
             )
             return
 
@@ -293,16 +414,29 @@ class ScanEngine:
         try:
             # 1. storage-index pruning
             valid = smu.valid_row_mask()
+            predicates = compiled.predicates
             if any(p.can_prune(imcu) for p in predicates):
                 # min/max proves no *captured* row matches; invalid and
                 # edge rows below may still match their current values.
                 result.stats.imcus_pruned += 1
                 matched_positions = np.zeros(0, dtype=np.int64)
             else:
-                mask = np.ones(imcu.n_rows, dtype=bool)
+                # predicate masks are freshly allocated, so the combine is
+                # in-place; the cached validity mask is only ever a read
+                # operand
+                mask = None
                 for predicate in predicates:
-                    mask &= predicate.eval_mask(imcu)
-                matched_positions = np.flatnonzero(mask & valid)
+                    predicate_mask = predicate.eval_mask(imcu)
+                    if mask is None:
+                        mask = predicate_mask
+                    else:
+                        mask &= predicate_mask
+                if mask is None:
+                    matched = valid
+                else:
+                    mask &= valid
+                    matched = mask
+                matched_positions = np.flatnonzero(matched)
                 result.stats.imcus_used += 1
                 result.stats.imcs_rows += imcu.n_rows
                 result.stats.cost_seconds += IMCS_COST_PER_ROW * imcu.n_rows
@@ -315,78 +449,95 @@ class ScanEngine:
                 pass  # consumed vectorially (aggregation push-down)
             else:
                 result.rows.extend(
-                    imcu.project_rows(matched_positions, names)
+                    imcu.project_rows(matched_positions, compiled.names)
                 )
 
-            # 3. invalid rows: reconcile through the row store
-            invalid_positions = np.flatnonzero(~valid)
-            if invalid_positions.size:
-                rowids = [imcu.rowids[int(i)] for i in invalid_positions]
-                self._rowstore_fetch_rowids(
-                    table, rowids, snapshot_scn, predicates, names, result,
-                    resolver,
+            # 3. invalid rows: reconcile through the row store, one block
+            #    at a time (the SMU keeps the DBA grouping cached)
+            for dba, slots in smu.invalid_slots_by_dba().items():
+                block = store.get_optional(dba)
+                self._fetch_block_slots(
+                    table, block, dba, slots, snapshot_scn, compiled, result,
                 )
 
             # 4. edge rows: slots added to covered blocks after the snapshot
-            store = table.partition_by_object_id(imcu.object_id).segment._store
             for dba, captured in imcu.captured_slots.items():
                 block = store.get_optional(dba)
                 if block is None or block.used_slots <= captured:
                     continue
-                rowids = [
-                    RowId(dba, slot)
-                    for slot in range(captured, block.used_slots)
-                ]
-                self._rowstore_fetch_rowids(
-                    table, rowids, snapshot_scn, predicates, names, result,
-                    resolver,
+                self._fetch_block_slots(
+                    table, block, dba, range(captured, block.used_slots),
+                    snapshot_scn, compiled, result,
                 )
         finally:
             smu.unpin()
 
     # ------------------------------------------------------------------
-    def _rowstore_fetch_rowids(
-        self, table, rowids, snapshot_scn, predicates, names, result,
-        resolver: Optional[RowResolver] = None,
+    def _fetch_block_slots(
+        self, table, block, dba, slots, snapshot_scn,
+        compiled: _CompiledScan, result,
     ) -> None:
-        resolver = resolver or RowResolver(table.schema)
+        """Reconcile-fetch several slots of one block.
+
+        The block's chains are walked once and the buffer cache is charged
+        once per block, not once per row.
+        """
+        stats = result.stats
+        if table.buffer_cache is not None:
+            stats.cost_seconds += table.buffer_cache.touch(dba)
+        if block is None:
+            return
+        n = 0
+        rows = result.rows
+        matches = compiled.matches
+        project = compiled.project
+        for values in visible_values_batch(
+            block, slots, snapshot_scn, self.txns
+        ):
+            n += 1
+            if values is not None and matches(values):
+                rows.append(project(values))
+        stats.rowstore_rows += n
+        stats.fallback_rows += n
+        stats.cost_seconds += ROWSTORE_COST_PER_ROW * n
+
+    def _rowstore_fetch_rowids(
+        self, table, store, rowids, snapshot_scn,
+        compiled: _CompiledScan, result,
+    ) -> None:
+        """Fetch arbitrary rowids through CR, grouped by block."""
+        by_dba: dict[DBA, list[int]] = {}
         for rowid in rowids:
-            values = table.fetch_by_rowid(rowid, snapshot_scn, self.txns)
-            result.stats.rowstore_rows += 1
-            result.stats.fallback_rows += 1
-            result.stats.cost_seconds += ROWSTORE_COST_PER_ROW
-            if values is None:
-                continue
-            if all(
-                p.matches(resolver.value(values, p.column))
-                for p in predicates
-            ):
-                result.rows.append(resolver.project(values, names))
+            by_dba.setdefault(rowid.dba, []).append(rowid.slot)
+        for dba, slots in by_dba.items():
+            self._fetch_block_slots(
+                table, store.get_optional(dba), dba, slots,
+                snapshot_scn, compiled, result,
+            )
 
     def _rowstore_scan_dbas(
-        self, table, dbas, snapshot_scn, predicates, names, result, fallback,
-        resolver: Optional[RowResolver] = None,
+        self, table, store, dbas, snapshot_scn,
+        compiled: _CompiledScan, result, fallback,
     ) -> None:
         if not dbas:
             return
-        resolver = resolver or RowResolver(table.schema)
-        store = table.default_partition.segment._store
+        stats = result.stats
+        rows = result.rows
+        matches = compiled.matches
+        project = compiled.project
         for dba in dbas:
             block = store.get_optional(dba)
             if block is None:
                 continue
             if table.buffer_cache is not None:
-                result.stats.cost_seconds += table.buffer_cache.touch(dba)
-            for slot, chain in block.chains():
-                values = visible_values(chain, snapshot_scn, self.txns)
-                result.stats.rowstore_rows += 1
-                if fallback:
-                    result.stats.fallback_rows += 1
-                result.stats.cost_seconds += ROWSTORE_COST_PER_ROW
-                if values is None:
-                    continue
-                if all(
-                    p.matches(resolver.value(values, p.column))
-                    for p in predicates
-                ):
-                    result.rows.append(resolver.project(values, names))
+                stats.cost_seconds += table.buffer_cache.touch(dba)
+            n = block.used_slots
+            for values in visible_values_batch(
+                block, range(n), snapshot_scn, self.txns
+            ):
+                if values is not None and matches(values):
+                    rows.append(project(values))
+            stats.rowstore_rows += n
+            if fallback:
+                stats.fallback_rows += n
+            stats.cost_seconds += ROWSTORE_COST_PER_ROW * n

@@ -32,6 +32,15 @@ class SMU:
         self.imcu = imcu
         self._invalid_rows = np.zeros(imcu.n_rows, dtype=bool)
         self._invalid_blocks: set[DBA] = set()
+        #: Invalidation epoch: bumped whenever the validity state changes.
+        #: Derived structures (the validity mask, the per-DBA reconcile
+        #: index) are cached against it, so repeated scans between
+        #: invalidations pay for them once.
+        self._epoch = 0
+        self._mask_epoch = -1
+        self._mask_cache: np.ndarray | None = None
+        self._by_dba_epoch = -1
+        self._by_dba_cache: dict[DBA, list[int]] | None = None
         #: Columns dropped since population (column-level validity).
         self._invalid_columns: set[str] = set()
         #: Highest SCN at which an invalidation was recorded; repopulation
@@ -63,18 +72,51 @@ class SMU:
         if self._invalid_rows[position]:
             return False
         self._invalid_rows[position] = True
+        self._epoch += 1
         return True
+
+    def invalidate_slots(
+        self, batches: list[tuple[DBA, tuple[int, ...]]], scn: SCN
+    ) -> int:
+        """Group-at-once row invalidation: mark every ``(dba, slots)``
+        batch invalid with a single epoch bump and one mask write.
+
+        This is the flush component's fast path -- draining a worklink
+        costs O(groups) epoch bumps instead of O(rows).  Uncaptured slots
+        are dropped exactly as :meth:`invalidate_row` ignores them.
+        Returns the number of rows newly invalidated.
+        """
+        self._touch(scn)
+        imcu = self.imcu
+        gathered = [
+            positions
+            for dba, slots in batches
+            if (positions := imcu.positions_for_slots(dba, slots)).size
+        ]
+        if not gathered:
+            return 0
+        positions = gathered[0] if len(gathered) == 1 else np.concatenate(gathered)
+        fresh = positions[~self._invalid_rows[positions]]
+        if fresh.size == 0:
+            return 0
+        self._invalid_rows[fresh] = True
+        self._epoch += 1
+        return int(fresh.size)
 
     def invalidate_block(self, dba: DBA, scn: SCN) -> None:
         """Block-level invalidation: every captured row of ``dba``."""
         self._touch(scn)
-        self._invalid_blocks.add(dba)
+        if dba not in self._invalid_blocks:
+            self._invalid_blocks.add(dba)
+            self._epoch += 1
 
     def invalidate_fully(self, scn: SCN) -> None:
         """Coarse invalidation (paper, III-E): the IMCU cannot be used
         until repopulated."""
         self._touch(scn)
-        self.fully_invalid = True
+        if not self.fully_invalid:
+            self.fully_invalid = True
+            self._epoch += 1
 
     def invalidate_column(self, name: str, scn: SCN) -> None:
         self._touch(scn)
@@ -90,16 +132,53 @@ class SMU:
     def is_column_valid(self, name: str) -> bool:
         return name not in self._invalid_columns
 
+    def columns_valid(self, names) -> bool:
+        """True when no column in ``names`` has been invalidated (set-at-
+        once check for the scan engine's per-unit usability test)."""
+        return (
+            not self._invalid_columns
+            or self._invalid_columns.isdisjoint(names)
+        )
+
     def valid_row_mask(self) -> np.ndarray:
-        """Boolean mask over IMCU row positions: True = IMCU data usable."""
+        """Boolean mask over IMCU row positions: True = IMCU data usable.
+
+        Cached until the invalidation epoch changes; the returned array is
+        shared and marked read-only -- callers must not mutate it.
+        """
+        if self._mask_epoch != self._epoch:
+            self._mask_cache = self._compute_mask()
+            self._mask_cache.flags.writeable = False
+            self._mask_epoch = self._epoch
+        return self._mask_cache
+
+    def _compute_mask(self) -> np.ndarray:
         if self.fully_invalid or self.dropped:
             return np.zeros(self.imcu.n_rows, dtype=bool)
         mask = ~self._invalid_rows
         if self._invalid_blocks:
-            for position, rowid in enumerate(self.imcu.rowids):
-                if rowid.dba in self._invalid_blocks:
-                    mask[position] = False
+            for dba in self._invalid_blocks:
+                positions = self.imcu.positions_for_dba(dba)
+                if positions.size:
+                    mask[positions] = False
         return mask
+
+    def invalid_slots_by_dba(self) -> dict[DBA, list[int]]:
+        """Captured-but-invalid rows grouped by block: DBA -> slot list.
+
+        The scan engine's reconcile path walks this so each block's chains
+        are visited once; cached against the invalidation epoch like the
+        validity mask.  Read-only for callers.
+        """
+        if self._by_dba_epoch != self._epoch:
+            grouped: dict[DBA, list[int]] = {}
+            rowids = self.imcu.rowids
+            for position in np.flatnonzero(~self.valid_row_mask()).tolist():
+                rowid = rowids[position]
+                grouped.setdefault(rowid.dba, []).append(rowid.slot)
+            self._by_dba_cache = grouped
+            self._by_dba_epoch = self._epoch
+        return self._by_dba_cache
 
     def invalid_rowids(self) -> list[RowId]:
         """Rowids currently marked invalid (row- or block-level).
@@ -109,11 +188,8 @@ class SMU:
         ``InMemoryColumnStore.register_unit``.
         """
         mask = self.valid_row_mask()
-        return [
-            rowid
-            for position, rowid in enumerate(self.imcu.rowids)
-            if not mask[position]
-        ]
+        rowids = self.imcu.rowids
+        return [rowids[i] for i in np.flatnonzero(~mask).tolist()]
 
     @property
     def invalid_count(self) -> int:
@@ -121,7 +197,7 @@ class SMU:
             return self.imcu.n_rows
         if not self._invalid_blocks:
             return int(self._invalid_rows.sum())
-        return int((~self.valid_row_mask()).sum())
+        return self.imcu.n_rows - int(self.valid_row_mask().sum())
 
     @property
     def invalid_fraction(self) -> float:
@@ -150,6 +226,7 @@ class SMU:
         if self.pinned:
             raise InvalidStateError("cannot drop a pinned SMU")
         self.dropped = True
+        self._epoch += 1
 
     def __repr__(self) -> str:
         return (

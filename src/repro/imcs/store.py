@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.common.errors import NotInMemoryError
-from repro.common.ids import DBA, ObjectId, RowId, TenantId
+from repro.common.ids import DBA, ObjectId, TenantId
 from repro.common.scn import SCN
 from repro.imcs.compression import GlobalDictionary
 from repro.imcs.expressions import Expression, ExpressionSet
@@ -257,6 +257,43 @@ class InMemoryColumnStore:
             return
         self._apply_to_smu(smu, dba, slots, scn)
 
+    def invalidate_many(
+        self,
+        object_id: ObjectId,
+        blocks: dict[DBA, tuple[int, ...]],
+        scn: SCN,
+    ) -> None:
+        """Apply a whole invalidation group's blocks at one commitSCN.
+
+        Slot-level records for the same SMU are batched into a single
+        :meth:`SMU.invalidate_slots` call -- one epoch bump and one mask
+        write per SMU instead of one per row, which is what keeps the
+        cooperative-flush drain on the QuerySCN critical path O(groups).
+        Blocks without a covering unit park in the pending list exactly
+        like :meth:`invalidate`.
+        """
+        segment = self._segments.get(object_id)
+        if segment is None:
+            return  # not enabled here: nothing to maintain
+        dba_to_unit = segment.dba_to_unit
+        pending = segment.pending
+        batches: dict[int, tuple[SMU, list[tuple[DBA, tuple[int, ...]]]]] = {}
+        for dba, slots in blocks.items():
+            smu = dba_to_unit.get(dba)
+            if smu is None or smu.dropped:
+                pending.append(_PendingInvalidation(dba, slots, scn))
+            elif not slots:
+                smu.invalidate_block(dba, scn)
+                self.rows_invalidated += 1
+            else:
+                entry = batches.get(id(smu))
+                if entry is None:
+                    batches[id(smu)] = (smu, [(dba, slots)])
+                else:
+                    entry[1].append((dba, slots))
+        for smu, batch in batches.values():
+            self.rows_invalidated += smu.invalidate_slots(batch, scn)
+
     def _apply_to_smu(
         self, smu: SMU, dba: DBA, slots: tuple[int, ...], scn: SCN
     ) -> None:
@@ -264,9 +301,7 @@ class InMemoryColumnStore:
             smu.invalidate_block(dba, scn)
             self.rows_invalidated += 1
             return
-        for slot in slots:
-            if smu.invalidate_row(RowId(dba, slot), scn):
-                self.rows_invalidated += 1
+        self.rows_invalidated += smu.invalidate_slots([(dba, slots)], scn)
 
     def invalidate_object(self, object_id: ObjectId, scn: SCN) -> None:
         segment = self._segments.get(object_id)

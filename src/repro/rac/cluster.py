@@ -154,10 +154,9 @@ class StandbySatellite:
         """Flush staged invalidation groups to this instance's SMUs."""
         for batch in self._staged:
             for group in batch.groups:
-                for dba, slots in group.blocks.items():
-                    self.imcs.invalidate(
-                        group.object_id, dba, slots, group.commit_scn
-                    )
+                self.imcs.invalidate_many(
+                    group.object_id, group.blocks, group.commit_scn
+                )
                 self.groups_received += 1
             for tenant, scn in batch.coarse_tenants:
                 self.imcs.invalidate_tenant(tenant, scn)
@@ -215,10 +214,9 @@ class RemoteInvalidationRouter:
         for instance, dbas in split.items():
             sub_blocks = {dba: group.blocks[dba] for dba in dbas}
             if instance == self.master_instance_id:
-                for dba, slots in sub_blocks.items():
-                    self.master_store.invalidate(
-                        group.object_id, dba, slots, group.commit_scn
-                    )
+                self.master_store.invalidate_many(
+                    group.object_id, sub_blocks, group.commit_scn
+                )
                 self.groups_routed_local += 1
             else:
                 sub = InvalidationGroup(

@@ -479,10 +479,9 @@ class MIRAStandbyCluster:
         def receive(from_instance, payload):
             if isinstance(payload, _InvalidationBatch):
                 for group in payload.groups:
-                    for dba, slots in group.blocks.items():
-                        instance.imcs.invalidate(
-                            group.object_id, dba, slots, group.commit_scn
-                        )
+                    instance.imcs.invalidate_many(
+                        group.object_id, group.blocks, group.commit_scn
+                    )
                 for tenant, scn in payload.coarse_tenants:
                     instance.imcs.invalidate_tenant(tenant, scn)
                 self.interconnect.send(

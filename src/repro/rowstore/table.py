@@ -235,7 +235,18 @@ class Table:
 
     # ------------------------------------------------------------------
     # standby-side physical apply
+    #
+    # Media recovery applies redo to blocks *in* the buffer cache, so every
+    # applied block is left resident: the reconcile fetches a scan pays for
+    # recently-changed rows are hits, not simulated physical reads.
     # ------------------------------------------------------------------
+    def _apply_block(self, object_id: ObjectId, dba: DBA):
+        part = self.partition_by_object_id(object_id)
+        block = part.segment.ensure_block(dba)
+        if self.buffer_cache is not None:
+            self.buffer_cache.touch(dba)
+        return block
+
     def apply_insert(
         self,
         object_id: ObjectId,
@@ -245,8 +256,7 @@ class Table:
         xid: TransactionId,
         scn: SCN,
     ) -> None:
-        part = self.partition_by_object_id(object_id)
-        block = part.segment.ensure_block(dba)
+        block = self._apply_block(object_id, dba)
         block.apply_at_slot(slot, values, xid, scn)
         rowid = RowId(dba, slot)
         for column, index in self.indexes.items():
@@ -262,8 +272,7 @@ class Table:
         xid: TransactionId,
         scn: SCN,
     ) -> None:
-        part = self.partition_by_object_id(object_id)
-        block = part.segment.ensure_block(dba)
+        block = self._apply_block(object_id, dba)
         old = block.chain(slot).current if slot < block.used_slots else None
         block.apply_at_slot(slot, new_values, xid, scn)
         rowid = RowId(dba, slot)
@@ -283,8 +292,7 @@ class Table:
         xid: TransactionId,
         scn: SCN,
     ) -> None:
-        part = self.partition_by_object_id(object_id)
-        block = part.segment.ensure_block(dba)
+        block = self._apply_block(object_id, dba)
         block.apply_at_slot(slot, None, xid, scn)
         for column, index in self.indexes.items():
             index.delete(old_values[self.schema.column_index(column)])
@@ -303,8 +311,7 @@ class Table:
         repairs index entries by diffing the stripped values against the
         restored current version.
         """
-        part = self.partition_by_object_id(object_id)
-        block = part.segment.ensure_block(dba)
+        block = self._apply_block(object_id, dba)
         stripped = block.undo_write(slot, xid)
         if stripped is None:
             return

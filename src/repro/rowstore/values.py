@@ -54,21 +54,25 @@ class Schema:
 
     columns: list[Column]
     _dropped: set[str] = field(default_factory=set)
+    # name -> position map; positions never change (DROP COLUMN is
+    # dictionary-only), so the map is built once in __post_init__
+    _index: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         names = [c.name for c in self.columns]
         if len(set(names)) != len(names):
             raise ValueError("duplicate column names in schema")
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
 
     # -- lookup --------------------------------------------------------
     def column_index(self, name: str) -> int:
         """Physical position of a live column in the stored row tuple."""
-        for i, col in enumerate(self.columns):
-            if col.name == name:
-                if name in self._dropped:
-                    raise KeyError(f"column {name!r} has been dropped")
-                return i
-        raise KeyError(f"no such column: {name!r}")
+        i = self._index.get(name)
+        if i is None:
+            raise KeyError(f"no such column: {name!r}")
+        if name in self._dropped:
+            raise KeyError(f"column {name!r} has been dropped")
+        return i
 
     def column(self, name: str) -> Column:
         return self.columns[self.column_index(name)]

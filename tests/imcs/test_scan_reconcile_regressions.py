@@ -1,0 +1,160 @@
+"""Regression tests for two reconcile-path bugs fixed with the
+vectorised kernels.
+
+1. ``_rowstore_scan_dbas`` resolved blocks through the *default*
+   partition's store instead of the scanned partition's.  Every partition
+   of one table normally shares one :class:`BlockStore`, so the bug was
+   latent -- but DBA counters are per-store, so two stores produce
+   overlapping DBAs and the old code would silently read the wrong
+   partition's blocks.
+
+2. Row-store reconcile fetches never charged the buffer cache: the scan's
+   simulated cost omitted the per-block I/O component entirely.  The fixed
+   path charges ``buffer_cache.touch`` exactly once per distinct block.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.common import TransactionId
+from repro.common.config import IMCSConfig
+from repro.imcs import (
+    InMemoryColumnStore,
+    PopulationEngine,
+    Predicate,
+    ScanEngine,
+)
+from repro.rowstore import BlockStore, Column, ColumnType, Schema, Table
+from repro.rowstore.buffer_cache import BufferCache
+
+from tests.imcs.conftest import load_rows
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            Column("id", ColumnType.NUMBER, nullable=False),
+            Column("n1", ColumnType.NUMBER),
+            Column("c1", ColumnType.VARCHAR2),
+        ]
+    )
+
+
+def populate_all(store, txns, clock):
+    engine = PopulationEngine(
+        store, txns, lambda owner: clock.current,
+        IMCSConfig(imcu_target_rows=16),
+    )
+    engine.schedule_all()
+    while engine.run_one_task(object()) is not None:
+        pass
+
+
+class TestPartitionStoreRouting:
+    def test_rowstore_scan_reads_the_scanned_partitions_store(
+        self, txns, clock
+    ):
+        """Partition P1 lives in its own store with DBAs that collide with
+        P0's; the row-format path must read P1's blocks, not P0's."""
+        oid = itertools.count(800)
+        table = Table(
+            "T", make_schema(), BlockStore(),
+            object_id_allocator=lambda: next(oid), rows_per_block=4,
+            partition_names=["P0", "P1"],
+        )
+        table.partition("P1").segment._store = BlockStore()
+
+        xid = TransactionId(1, 91_000)
+        for i in range(8):
+            table.insert_row((i, 1.0, "p0"), xid, clock.next(), partition="P0")
+        for i in range(8):
+            table.insert_row(
+                (100 + i, 2.0, "p1"), xid, clock.next(), partition="P1"
+            )
+        txns.commit(xid, clock.next())
+        # the stores really do collide on DBAs -- the regression's trigger
+        p0_dbas = set(table.partition("P0").segment.dbas)
+        p1_dbas = set(table.partition("P1").segment.dbas)
+        assert p0_dbas & p1_dbas
+
+        engine = ScanEngine(None, txns)  # no IMCS: pure row-format scan
+        rows = engine.scan(table, clock.current, columns=["id", "c1"]).rows
+        assert sorted(r[0] for r in rows) == list(range(8)) + [
+            100 + i for i in range(8)
+        ]
+        assert {r[1] for r in rows} == {"p0", "p1"}
+
+        # scanning just P1 returns only P1's rows
+        p1_rows = engine.scan(
+            table, clock.current, columns=["c1"], partitions=["P1"]
+        ).rows
+        assert {r[0] for r in p1_rows} == {"p1"}
+        assert len(p1_rows) == 8
+
+
+class TestReconcileBufferCacheCharging:
+    def make_cached_table(self):
+        oid = itertools.count(820)
+        return Table(
+            "T", make_schema(), BlockStore(),
+            object_id_allocator=lambda: next(oid), rows_per_block=4,
+            buffer_cache=BufferCache(),
+        )
+
+    def test_reconcile_charges_one_miss_per_distinct_block(
+        self, txns, clock
+    ):
+        table = self.make_cached_table()
+        __, rowids = load_rows(table, txns, clock, 16)
+        store = InMemoryColumnStore()
+        store.enable(table)
+        populate_all(store, txns, clock)
+        object_id = table.default_partition.object_id
+
+        # invalidate 3 rows of one block and 1 row of another
+        first = [r for r in rowids if r.dba == rowids[0].dba][:3]
+        other = next(r for r in rowids if r.dba != rowids[0].dba)
+        for rowid in first + [other]:
+            store.invalidate(
+                object_id, rowid.dba, (rowid.slot,), clock.current
+            )
+
+        cache = table.buffer_cache
+        # drop the residency the load built up: the scan starts cold
+        for dba in table.default_partition.segment.dbas:
+            cache.invalidate(dba)
+        hits0, misses0 = cache.hits, cache.misses
+        engine = ScanEngine(store, txns)
+        result = engine.scan(table, clock.current, [Predicate.ge("id", 0)])
+        touched = (cache.hits - hits0) + (cache.misses - misses0)
+        assert touched == 2  # one touch per distinct reconciled block
+        assert cache.misses - misses0 == 2
+        # both blocks were cold: the scan cost carries their miss cost
+        assert result.stats.cost_seconds >= 2 * cache.miss_cost
+        assert result.stats.fallback_rows == 4
+
+        # second scan: blocks now resident, so no further miss cost
+        hits1, misses1 = cache.hits, cache.misses
+        warm = engine.scan(table, clock.current, [Predicate.ge("id", 0)])
+        assert cache.misses == misses1
+        assert cache.hits - hits1 == 2
+        assert warm.stats.cost_seconds < result.stats.cost_seconds
+
+    def test_cold_rowformat_scan_charges_every_block(self, txns, clock):
+        table = self.make_cached_table()
+        load_rows(table, txns, clock, 16)
+        n_blocks = table.default_partition.segment.n_blocks
+        cache = table.buffer_cache
+        # drop residency accumulated during the load
+        for dba in table.default_partition.segment.dbas:
+            cache.invalidate(dba)
+        misses0 = cache.misses
+
+        engine = ScanEngine(None, txns)
+        result = engine.scan(table, clock.current)
+        assert cache.misses - misses0 == n_blocks
+        assert result.stats.cost_seconds >= n_blocks * cache.miss_cost
+        assert len(result.rows) == 16
