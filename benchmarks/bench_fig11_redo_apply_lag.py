@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.common.config import RACConfig
 from repro.db.deployment import Deployment, InMemoryService
 from repro.metrics.render import render_figure
@@ -39,6 +40,9 @@ DURATION = 4.0
 def rac_run():
     system_config = bench_system_config()
     system_config.rac = RACConfig(primary_instances=2)
+    registry = obs.MetricsRegistry()
+    collecting = obs.collecting(registry)
+    collecting.__enter__()
     deployment = Deployment.build(config=system_config)
 
     workloads = []
@@ -104,6 +108,7 @@ def rac_run():
             deployment.primary.commit(driver._txn)
     deployment.sched.remove_actor(sampler)
     deployment.catch_up()
+    collecting.__exit__(None, None, None)
     return deployment, sampler, drivers
 
 
@@ -146,6 +151,31 @@ def test_fig11_redo_apply_lag(rac_run, benchmark):
         f"standby lag peaked at {worst_gap} SCNs of {total_scns}"
     )
 
+    # the same lag curve must be reproducible from instruments alone:
+    # the lifecycle tracer's generated/published SCN series, read at the
+    # sampler's own sample times.  The tracer's published series is event
+    # -granular (the sampler's is polled every 0.05 s), so the instrument
+    # gap can only be equal or fresher -- never larger -- and may undershoot
+    # by at most what one polling interval publishes.
+    tracer = deployment.obs.tracer
+    inst_worst = 0.0
+    for t, __ in sampler.primary_log_series[1].points:
+        if t < 0.5:  # same warm-up exclusion
+            continue
+        inst_worst = max(inst_worst, tracer.scn_gap_at(t, thread=1))
+    assert inst_worst <= worst_gap + 1e-9, (
+        f"instrument lag {inst_worst} exceeds bench-side lag {worst_gap}"
+    )
+    assert worst_gap - inst_worst <= max(10.0, 0.05 * total_scns), (
+        f"instrument lag {inst_worst} disagrees with bench-side "
+        f"lag {worst_gap} beyond sampling tolerance"
+    )
+    # end-to-end visibility: tracked records really completed the pipeline
+    snapshot = deployment.obs.snapshot()
+    assert snapshot.total("lifecycle.completed") > 100
+    visibility = snapshot.get("lifecycle.visibility_lag")
+    assert visibility is not None and visibility["count"] > 100
+
     # the DBIM machinery really ran: mining + flush happened on the standby
     assert deployment.standby.miner.data_records_mined > 100
     assert deployment.standby.flush.nodes_flushed > 10
@@ -170,7 +200,11 @@ def test_fig11_redo_apply_lag(rac_run, benchmark):
         "ops_per_simulated_s": ops_total / DURATION,
         "total_redo_scns": total_scns,
         "worst_query_scn_gap_scns": worst_gap,
+        "worst_instrument_scn_gap_scns": inst_worst,
         "final_redo_lag_scns": deployment.redo_lag_scns,
+        "visibility_lag_s": visibility,
+        "lifecycle_stages": tracer.stage_summary(),
+        "metrics_snapshot": snapshot.as_dict(),
         "data_records_mined": deployment.standby.miner.data_records_mined,
         "invalidation_nodes_flushed": deployment.standby.flush.nodes_flushed,
         "wall_clock": {

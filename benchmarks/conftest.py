@@ -19,6 +19,7 @@ import pathlib
 
 import pytest
 
+from repro import obs
 from repro.common.config import ApplyConfig, IMCSConfig, SystemConfig
 from repro.db.deployment import Deployment, InMemoryService
 from repro.workload.oltap import OLTAPConfig, OLTAPWorkload
@@ -92,17 +93,25 @@ def run_scenario(
     dbim_on_adg: bool = True,
     system_config: SystemConfig | None = None,
 ) -> tuple[Deployment, OLTAPWorkload]:
-    """Set up + run one workload scenario to completion."""
-    deployment = Deployment.build(
-        config=system_config or bench_system_config(),
-        dbim_on_adg=dbim_on_adg,
-    )
-    workload = OLTAPWorkload(deployment, oltap_config)
-    workload.setup(service=service)
-    workload.start(scan_target=scan_target)
-    workload.run()
-    workload.stop()
-    deployment.catch_up()
+    """Set up + run one workload scenario to completion.
+
+    The whole run happens under a collecting metrics registry (reachable
+    afterwards as ``deployment.obs``, lifecycle tracer attached), so
+    benches can read pipeline instruments next to their own bookkeeping
+    and embed ``deployment.obs.snapshot()`` in their JSON output.
+    """
+    registry = obs.MetricsRegistry()
+    with obs.collecting(registry):
+        deployment = Deployment.build(
+            config=system_config or bench_system_config(),
+            dbim_on_adg=dbim_on_adg,
+        )
+        workload = OLTAPWorkload(deployment, oltap_config)
+        workload.setup(service=service)
+        workload.start(scan_target=scan_target)
+        workload.run()
+        workload.stop()
+        deployment.catch_up()
     return deployment, workload
 
 

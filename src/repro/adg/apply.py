@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional, Protocol
 
+from repro import obs
 from repro.chaos import sites
 from repro.common.ids import WorkerId
 from repro.common.scn import NULL_SCN, SCN
@@ -90,6 +91,12 @@ class ApplyDistributor:
 class RecoveryWorker(Actor):
     """One parallel-apply worker process."""
 
+    cvs_applied = obs.view("_cvs_applied")
+    sniff_retries = obs.view("_sniff_retries")
+    apply_stalls = obs.view("_apply_stalls")
+    #: Steps skipped by an installed chaos fault (injected slowness).
+    chaos_stalls = obs.view("_chaos_stalls")
+
     def __init__(
         self,
         worker_id: WorkerId,
@@ -114,11 +121,19 @@ class RecoveryWorker(Actor):
         self.node = node
         self.speed = speed
         self.name = f"recovery-worker-{worker_id}"
-        self.cvs_applied = 0
-        self.sniff_retries = 0
-        self.apply_stalls = 0
-        #: Steps skipped by an installed chaos fault (injected slowness).
-        self.chaos_stalls = 0
+        self._obs = obs.current()
+        self._cvs_applied = obs.counter(
+            "adg.worker.cvs_applied", worker=worker_id
+        )
+        self._sniff_retries = obs.counter(
+            "adg.worker.sniff_retries", worker=worker_id
+        )
+        self._apply_stalls = obs.counter(
+            "adg.worker.apply_stalls", worker=worker_id
+        )
+        self._chaos_stalls = obs.counter(
+            "adg.worker.chaos_stalls", worker=worker_id
+        )
         self._chaos = sites.declare("adg.apply_worker", owner=self)
         #: SCN of the last CV this worker applied.
         self.applied_scn: SCN = NULL_SCN
@@ -146,7 +161,7 @@ class RecoveryWorker(Actor):
             decision = chaos.consult("step", worker=self.worker_id)
             if decision.action is sites.Action.STALL:
                 # injected slowness: burn a step without doing any work
-                self.chaos_stalls += 1
+                self._chaos_stalls.inc()
                 return self.cost_per_cv * self.batch
         cost = 0.0
         # 1. cooperative invalidation flush (paper, III-D-2): help drain
@@ -158,13 +173,14 @@ class RecoveryWorker(Actor):
 
         # 2. redo apply in SCN order from this worker's queue.
         queue = self.distributor.queues[self.worker_id]
+        tracer = obs.tracer_of(self._obs)
         applied = 0
         while queue and applied < self.batch:
             scn, cv = queue[0]
             if self.sniffer is not None and not self._head_sniffed:
                 if not self.sniffer(cv, scn, self.worker_id, self):
                     # bucket latch miss: spin -- retry this CV next step.
-                    self.sniff_retries += 1
+                    self._sniff_retries.inc()
                     break
             self._head_sniffed = True
             try:
@@ -172,13 +188,15 @@ class RecoveryWorker(Actor):
             except ApplyStall:
                 # dependency on another worker's progress; retry later
                 # (already sniffed: _head_sniffed stays set)
-                self.apply_stalls += 1
+                self._apply_stalls.inc()
                 break
             self._head_sniffed = False
             queue.popleft()
             self.applied_scn = scn
             applied += 1
+            if tracer is not None:
+                tracer.record_applied(scn)
         if applied:
             cost += self.cost_per_cv * applied
-            self.cvs_applied += applied
+            self._cvs_applied.inc(applied)
         return cost if cost > 0 else None

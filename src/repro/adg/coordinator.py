@@ -7,11 +7,12 @@ SCNs).  Before publishing it as the new QuerySCN it runs the DBIM-on-ADG
 advancement protocol (paper, III-D):
 
 1. ask the flush protocol to *chop* the IM-ADG Commit Table into a
-   worklink for every transaction with commitSCN <= the target;
+   worklink for every transaction with commitSCN <= the target, and
+   process DDL information (drop IMCUs whose object definition changed)
+   -- both strictly pre-publication;
 2. drain the worklink -- the coordinator flushes batches itself and the
    recovery workers help via cooperative flush;
-3. process DDL information (drop IMCUs whose object definition changed);
-4. take the quiesce lock exclusively (blocking population snapshot
+3. take the quiesce lock exclusively (blocking population snapshot
    capture), publish the new QuerySCN, release the lock.
 
 Without a flush protocol installed (plain ADG, the paper's "without
@@ -22,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional, Protocol
 
+from repro import obs
 from repro.chaos import sites
 from repro.common.latch import QuiesceLock
 from repro.common.scn import SCN
@@ -41,7 +43,10 @@ class AdvanceProtocol(Protocol):
     """What the DBIM-on-ADG flush component exposes to the coordinator."""
 
     def begin_advance(self, target_scn: SCN) -> None:
-        """Chop the commit table; create the worklink for ``target_scn``."""
+        """Chop the commit table into the worklink for ``target_scn`` and
+        process DDL information (paper III-D steps 1 and 3): DDL-affected
+        IMCUs are dropped *before* publication so no query at the new
+        QuerySCN can see a stale object definition."""
         ...
 
     def coordinator_flush(self, batch: int) -> int:
@@ -53,12 +58,23 @@ class AdvanceProtocol(Protocol):
         ...
 
     def finish_advance(self, target_scn: SCN) -> None:
-        """Post-publication bookkeeping (e.g. DDL processing)."""
+        """Post-publication bookkeeping: retire the drained worklink.
+        No DDL work happens here -- that already ran in
+        :meth:`begin_advance`, pre-publication."""
         ...
 
 
 class RecoveryCoordinator(Actor):
     """Tracks apply progress; advances the QuerySCN."""
+
+    advancements = obs.view("_advancements")
+    publish_latency_total = obs.view("_publish_latency_total")
+    quiesce_wait_retries = obs.view("_quiesce_wait_retries")
+    #: Publications postponed by an installed chaos fault.
+    publish_stalls = obs.view("_publish_stalls")
+    #: Wall time publications spent blocked on chaos stalls or the
+    #: quiesce lock -- excluded from the *adjusted* latency metrics.
+    publish_stall_time_total = obs.view("_publish_stall_time_total")
 
     def __init__(
         self,
@@ -89,12 +105,28 @@ class RecoveryCoordinator(Actor):
         self._advancing_to: Optional[SCN] = None
         self._last_check = -1.0
         # statistics
-        self.advancements = 0
-        self.publish_latency_total = 0.0
+        self._obs = obs.current()
+        self._advancements = obs.counter("adg.coordinator.advancements")
+        self._publish_latency_total = obs.counter(
+            "adg.coordinator.publish_latency_total"
+        )
+        self._quiesce_wait_retries = obs.counter(
+            "adg.coordinator.quiesce_wait_retries"
+        )
+        self._publish_stalls = obs.counter("adg.coordinator.publish_stalls")
+        self._publish_stall_time_total = obs.counter(
+            "adg.coordinator.publish_stall_time_total"
+        )
+        self._publish_latency_hist = obs.histogram(
+            "adg.coordinator.publish_latency"
+        )
+        self._adjusted_latency_hist = obs.histogram(
+            "adg.coordinator.publish_latency_adjusted"
+        )
         self._advance_started_at = 0.0
-        self.quiesce_wait_retries = 0
-        #: Publications postponed by an installed chaos fault.
-        self.publish_stalls = 0
+        #: When the in-flight publication first got postponed (chaos
+        #: stall or quiesce-lock miss), or None while unblocked.
+        self._stalled_since: Optional[float] = None
         self._chaos = sites.declare("adg.queryscn_publish", owner=self)
 
     # ------------------------------------------------------------------
@@ -151,11 +183,15 @@ class RecoveryCoordinator(Actor):
             decision = chaos.consult("publish", target=target)
             if decision.action in (sites.Action.STALL, sites.Action.DELAY):
                 # hold the publication; retried on the next step
-                self.publish_stalls += 1
+                self._publish_stalls.inc()
+                if self._stalled_since is None:
+                    self._stalled_since = sched.now
                 return cost + COORDINATION_COST
         if not self.quiesce_lock.try_acquire_exclusive(self):
             # population is mid-capture; retry next step
-            self.quiesce_wait_retries += 1
+            self._quiesce_wait_retries.inc()
+            if self._stalled_since is None:
+                self._stalled_since = sched.now
             return cost + COORDINATION_COST
         try:
             self.query_scn.publish(target, at_time=sched.now)
@@ -163,13 +199,37 @@ class RecoveryCoordinator(Actor):
             self.quiesce_lock.release_exclusive(self)
         if self.advance_protocol is not None:
             self.advance_protocol.finish_advance(target)
-        self.advancements += 1
-        self.publish_latency_total += sched.now - self._advance_started_at
+        self._advancements.inc()
+        latency = sched.now - self._advance_started_at
+        stalled = 0.0
+        if self._stalled_since is not None:
+            # time this advancement spent *blocked* (injected stall or a
+            # held quiesce lock) rather than flushing/publishing -- keep
+            # the raw total intact but track it so the adjusted latency
+            # reflects the protocol's own cost (the Fig. 10 quantity).
+            stalled = sched.now - self._stalled_since
+            self._stalled_since = None
+        self._publish_latency_total.inc(latency)
+        self._publish_stall_time_total.inc(stalled)
+        self._publish_latency_hist.observe(latency)
+        self._adjusted_latency_hist.observe(latency - stalled)
         self._advancing_to = None
         return cost + COORDINATION_COST
 
     @property
     def mean_publish_latency(self) -> float:
+        """Mean wall time from advance start to publication, *including*
+        any time spent blocked on chaos stalls or the quiesce lock."""
         if not self.advancements:
             return 0.0
         return self.publish_latency_total / self.advancements
+
+    @property
+    def mean_adjusted_publish_latency(self) -> float:
+        """Mean publish latency with blocked wall time (injected stalls,
+        quiesce-lock waits) excluded: the advancement protocol's own cost."""
+        if not self.advancements:
+            return 0.0
+        return (
+            self.publish_latency_total - self.publish_stall_time_total
+        ) / self.advancements

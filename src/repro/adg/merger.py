@@ -16,6 +16,7 @@ import heapq
 from collections import deque
 from typing import Optional
 
+from repro import obs
 from repro.common.scn import SCN
 from repro.redo.records import RedoRecord
 from repro.redo.shipping import RedoReceiver
@@ -28,6 +29,9 @@ class LogMerger(Actor):
 
     #: Simulated CPU seconds to merge one record.
     COST_PER_RECORD = 1e-6
+
+    #: Records released past the merge watermark in SCN order.
+    records_merged = obs.view("_records_merged")
 
     def __init__(
         self,
@@ -45,6 +49,8 @@ class LogMerger(Actor):
         #: SCN-ordered records ready for the apply distributor.
         self.merged: deque[RedoRecord] = deque()
         self.merged_through_scn: SCN = 0
+        self._obs = obs.current()
+        self._records_merged = obs.counter("adg.merger.records_merged")
 
     # ------------------------------------------------------------------
     def _watermark(self) -> SCN:
@@ -62,11 +68,16 @@ class LogMerger(Actor):
                 heapq.heappush(self._heap, (record.scn, self._seq, record))
         watermark = self._watermark()
         released = 0
+        tracer = obs.tracer_of(self._obs)
         while self._heap and self._heap[0][0] <= watermark:
             scn, __, record = heapq.heappop(self._heap)
             self.merged.append(record)
             self.merged_through_scn = max(self.merged_through_scn, scn)
             released += 1
+            if tracer is not None:
+                tracer.record_merged(record)
+        if released:
+            self._records_merged.inc(released)
         return released
 
     def take_merged(self, n: int) -> list[RedoRecord]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import obs
 from repro.common.errors import InvalidStateError
 from repro.common.scn import NULL_SCN, SCN
 
@@ -19,11 +20,15 @@ from repro.common.scn import NULL_SCN, SCN
 class QuerySCNPublisher:
     """Holds the current QuerySCN and notifies listeners on advancement."""
 
+    publications = obs.view("_publications")
+
     def __init__(self, initial: SCN = NULL_SCN) -> None:
         self._value: SCN = initial
         #: (simulated time, value) pairs, for lag plots (Fig. 11).
         self.history: list[tuple[float, SCN]] = []
         self._listeners: list[Callable[[SCN], None]] = []
+        self._obs = obs.current()
+        self._publications = obs.counter("adg.queryscn.publications")
 
     @property
     def value(self) -> SCN:
@@ -43,6 +48,10 @@ class QuerySCNPublisher:
             return
         self._value = scn
         self.history.append((at_time, scn))
+        self._publications.inc()
+        tracer = obs.tracer_of(self._obs)
+        if tracer is not None:
+            tracer.record_published(scn)
         for listener in self._listeners:
             listener(scn)
 

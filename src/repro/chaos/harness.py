@@ -3,7 +3,10 @@
 :class:`ChaosHarness` runs one scenario end to end:
 
 1. build the deployment with a :class:`~repro.chaos.sites.SiteRegistry`
-   recording, so every pipeline component's injection sites are captured;
+   recording and a :class:`~repro.obs.registry.MetricsRegistry`
+   collecting, so every pipeline component's injection sites *and*
+   instruments are captured (the deployment arms the redo-lifecycle
+   tracer on the collecting registry);
 2. arm the scenario's :class:`~repro.chaos.plan.FaultPlan` on the
    simulated scheduler;
 3. drive the scenario's workload, sampling the redo lag over time into a
@@ -20,10 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro import obs
 from repro.chaos.invariants import InvariantResult
 from repro.chaos.plan import ChaosContext, ChaosEvent
 from repro.chaos.sites import SiteRegistry, recording
 from repro.metrics.stats import TimeSeries
+from repro.obs.registry import MetricsSnapshot
 from repro.sim.scheduler import Actor, Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,6 +63,9 @@ class ScenarioReport:
     stats: dict[str, int]
     lag: TimeSeries = field(default_factory=lambda: TimeSeries("lag"))
     finished_at: float = 0.0
+    #: Metrics snapshot of the run's collecting registry (None when the
+    #: report was assembled without one, e.g. in unit tests).
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def passed(self) -> bool:
@@ -91,6 +99,15 @@ class ScenarioReport:
                 f"lag: {len(self.lag)} samples, peak {peak:.0f} SCNs, "
                 f"final {final:.0f} SCNs",
             ]
+        if self.metrics is not None:
+            traced = self.metrics.total("lifecycle.tracked")
+            completed = self.metrics.total("lifecycle.completed")
+            lines += [
+                "",
+                f"metrics: {len(self.metrics)} instruments, "
+                f"{int(completed)}/{int(traced)} redo records traced to "
+                "publication",
+            ]
         lines += ["", f"invariants ({len(self.invariants)}):"]
         lines += [f"  {result.render()}" for result in self.invariants]
         lines += [
@@ -112,7 +129,8 @@ class ChaosHarness:
     def run(self) -> ScenarioReport:
         scenario = self.scenario
         registry = SiteRegistry()
-        with recording(registry):
+        metrics = obs.MetricsRegistry()
+        with recording(registry), obs.collecting(metrics):
             deployment = scenario.build(self.seed)
             ctx = ChaosContext(
                 deployment=deployment,
@@ -137,6 +155,7 @@ class ChaosHarness:
             stats=scenario.stats(ctx),
             lag=sampler.series,
             finished_at=deployment.sched.now,
+            metrics=metrics.snapshot(),
         )
 
 

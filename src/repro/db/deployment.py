@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from repro import obs
 from repro.common.config import SystemConfig
 from repro.redo.shipping import LogShipper
 from repro.sim.scheduler import Scheduler
@@ -55,6 +56,10 @@ class Deployment:
         self.config = config
         #: Optional SIRA standby RAC (see add_standby_cluster).
         self.standby_cluster = None
+        #: The metrics registry that was collecting while the pipeline was
+        #: constructed (None outside ``obs.collecting``); its ``tracer``
+        #: stamps redo through the lifecycle stages.
+        self.obs = obs.current()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -67,6 +72,11 @@ class Deployment:
         """Construct and wire a fresh deployment."""
         config = config or SystemConfig()
         sched = Scheduler(seed=config.seed, jitter=0.05)
+        registry = obs.current()
+        if registry is not None and registry.tracer is None:
+            # arm the redo-lifecycle tracer before any component (or
+            # redo record) exists, so stage stamps start at generation
+            registry.tracer = obs.RedoLifecycleTracer(sched, registry)
         primary = PrimaryDatabase(config)
         standby = StandbyDatabase(config, dbim_enabled=dbim_on_adg)
 

@@ -18,6 +18,7 @@ import bisect
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.common.ids import TenantId, TransactionId
 from repro.common.latch import BucketLatchSet
 from repro.common.scn import SCN
@@ -42,6 +43,8 @@ class CommitTableNode:
 class IMADGCommitTable:
     """CommitSCN-sorted, partitioned lists of commit-table nodes."""
 
+    inserts = obs.view("_inserts")
+
     def __init__(self, n_partitions: int = 4) -> None:
         if n_partitions < 1:
             raise ValueError("commit table needs at least one partition")
@@ -49,7 +52,7 @@ class IMADGCommitTable:
             [] for __ in range(n_partitions)
         ]
         self.latches = BucketLatchSet(n_partitions, name="im-adg-commit")
-        self.inserts = 0
+        self._inserts = obs.counter("dbim.commit_table.inserts")
 
     @property
     def n_partitions(self) -> int:
@@ -70,7 +73,7 @@ class IMADGCommitTable:
                 partition, node.commit_scn, key=lambda n: n.commit_scn
             )
             partition.insert(position, node)
-            self.inserts += 1
+            self._inserts.inc()
             return True
         finally:
             latch.release(owner)

@@ -27,6 +27,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro import obs
 from repro.chaos import sites
 from repro.common.ids import DBA, ObjectId, TenantId, WorkerId
 from repro.common.scn import SCN
@@ -96,6 +97,14 @@ class Worklink:
 class InvalidationFlushComponent:
     """Implements the coordinator's AdvanceProtocol for DBIM-on-ADG."""
 
+    nodes_flushed = obs.view("_nodes_flushed")
+    nodes_flushed_by_workers = obs.view("_nodes_flushed_by_workers")
+    groups_created = obs.view("_groups_created")
+    coarse_flushes = obs.view("_coarse_flushes")
+    ddl_processed = obs.view("_ddl_processed")
+    #: Flush calls skipped by an installed chaos fault.
+    chaos_stalls = obs.view("_chaos_stalls")
+
     def __init__(
         self,
         journal: IMADGJournal,
@@ -121,13 +130,15 @@ class InvalidationFlushComponent:
         self.group_block_limit = group_block_limit
         self.worklink: Optional[Worklink] = None
         # statistics
-        self.nodes_flushed = 0
-        self.nodes_flushed_by_workers = 0
-        self.groups_created = 0
-        self.coarse_flushes = 0
-        self.ddl_processed = 0
-        #: Flush calls skipped by an installed chaos fault.
-        self.chaos_stalls = 0
+        self._obs = obs.current()
+        self._nodes_flushed = obs.counter("dbim.flush.nodes_flushed")
+        self._nodes_flushed_by_workers = obs.counter(
+            "dbim.flush.nodes_flushed_by_workers"
+        )
+        self._groups_created = obs.counter("dbim.flush.groups_created")
+        self._coarse_flushes = obs.counter("dbim.flush.coarse_flushes")
+        self._ddl_processed = obs.counter("dbim.flush.ddl_processed")
+        self._chaos_stalls = obs.counter("dbim.flush.chaos_stalls")
         self._chaos = sites.declare("flush.worklink", owner=self)
 
     # ------------------------------------------------------------------
@@ -136,6 +147,10 @@ class InvalidationFlushComponent:
     def begin_advance(self, target_scn: SCN) -> None:
         nodes = self.commit_table.chop(target_scn)
         self.worklink = Worklink(target_scn, deque(nodes))
+        tracer = obs.tracer_of(self._obs)
+        if tracer is not None:
+            for node in nodes:
+                tracer.record_chopped(node.commit_scn)
         self._process_ddl(target_scn)
 
     def coordinator_flush(self, batch: int) -> int:
@@ -158,7 +173,8 @@ class InvalidationFlushComponent:
         if not self.cooperative:
             return 0
         flushed = self._flush_nodes(batch, by_worker=True)
-        self.nodes_flushed_by_workers += flushed
+        if flushed:
+            self._nodes_flushed_by_workers.inc(flushed)
         return flushed
 
     # ------------------------------------------------------------------
@@ -173,29 +189,33 @@ class InvalidationFlushComponent:
             )
             if decision.action is sites.Action.STALL:
                 # worklink draining held back; the caller retries later
-                self.chaos_stalls += 1
+                self._chaos_stalls.inc()
                 return 0
         flushed = 0
         while worklink.nodes and flushed < batch:
             node = worklink.nodes.popleft()
             self._flush_one(node)
             flushed += 1
-        self.nodes_flushed += flushed
+        if flushed:
+            self._nodes_flushed.inc(flushed)
         return flushed
 
     def _flush_one(self, node: CommitTableNode) -> None:
         if node.coarse:
             self.router.route_coarse(node.tenant, node.commit_scn)
-            self.coarse_flushes += 1
+            self._coarse_flushes.inc()
         elif node.anchor is not None:
             for group in self._gather_groups(node):
                 self.router.route(group)
-                self.groups_created += 1
+                self._groups_created.inc()
         # the anchor's job is done: release it from the journal (retry the
         # latch inline -- the flush owns the advancement critical path)
         removed = self.journal.remove(node.xid, self)
         while removed is None:
             removed = self.journal.remove(node.xid, self)
+        tracer = obs.tracer_of(self._obs)
+        if tracer is not None:
+            tracer.record_flushed(node.commit_scn)
 
     def _gather_groups(self, node: CommitTableNode) -> list[InvalidationGroup]:
         """Organise a transaction's records into invalidation groups
@@ -234,7 +254,7 @@ class InvalidationFlushComponent:
                     self.store.disable(object_id)
             if self.ddl_applier is not None:
                 self.ddl_applier(entry.payload)
-            self.ddl_processed += 1
+            self._ddl_processed.inc()
 
     # ------------------------------------------------------------------
     def clear(self) -> None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.common.ids import DBA, ObjectId, TenantId, TransactionId, WorkerId
 from repro.common.latch import BucketLatchSet
 from repro.common.scn import SCN
@@ -74,6 +75,8 @@ class AnchorNode:
 class IMADGJournal:
     """Hash table of anchor nodes with bucket latches."""
 
+    anchors_created = obs.view("_anchors_created")
+
     def __init__(self, n_buckets: int = 64) -> None:
         if n_buckets < 1:
             raise ValueError("journal needs at least one bucket")
@@ -81,7 +84,7 @@ class IMADGJournal:
             {} for __ in range(n_buckets)
         ]
         self.latches = BucketLatchSet(n_buckets, name="im-adg-journal")
-        self.anchors_created = 0
+        self._anchors_created = obs.counter("dbim.journal.anchors_created")
 
     def _bucket_index(self, xid: TransactionId) -> int:
         return hash(xid) % len(self._buckets)
@@ -101,7 +104,7 @@ class IMADGJournal:
             if anchor is None:
                 anchor = AnchorNode(xid=xid, tenant=tenant)
                 self._buckets[index][xid] = anchor
-                self.anchors_created += 1
+                self._anchors_created.inc()
             return anchor
         finally:
             latch.release(owner)

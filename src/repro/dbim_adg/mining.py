@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro import obs
 from repro.common.ids import TransactionId, WorkerId
 from repro.common.scn import SCN
 from repro.dbim_adg.commit_table import CommitTableNode, IMADGCommitTable
@@ -45,6 +46,12 @@ from repro.redo.records import (
 class MiningComponent:
     """Sniffs change vectors during redo apply."""
 
+    data_records_mined = obs.view("_data_records_mined")
+    control_records_mined = obs.view("_control_records_mined")
+    ddl_markers_mined = obs.view("_ddl_markers_mined")
+    latch_misses = obs.view("_latch_misses")
+    coarse_nodes_created = obs.view("_coarse_nodes_created")
+
     def __init__(
         self,
         journal: IMADGJournal,
@@ -61,17 +68,30 @@ class MiningComponent:
         #: apply instances, which never see the abort control CV).
         self.on_abort: Optional[Callable[[TransactionId, SCN], None]] = None
         # statistics
-        self.data_records_mined = 0
-        self.control_records_mined = 0
-        self.ddl_markers_mined = 0
-        self.latch_misses = 0
-        self.coarse_nodes_created = 0
+        self._obs = obs.current()
+        self._data_records_mined = obs.counter("dbim.miner.data_records")
+        self._control_records_mined = obs.counter(
+            "dbim.miner.control_records"
+        )
+        self._ddl_markers_mined = obs.counter("dbim.miner.ddl_markers")
+        self._latch_misses = obs.counter("dbim.miner.latch_misses")
+        self._coarse_nodes_created = obs.counter("dbim.miner.coarse_nodes")
 
     # ------------------------------------------------------------------
     def sniff(
         self, cv: ChangeVector, scn: SCN, worker_id: WorkerId, owner: object
     ) -> bool:
         """Mine one CV.  False = latch miss; the worker must retry it."""
+        mined = self._sniff_cv(cv, scn, worker_id, owner)
+        if mined:
+            tracer = obs.tracer_of(self._obs)
+            if tracer is not None:
+                tracer.record_mined(scn)
+        return mined
+
+    def _sniff_cv(
+        self, cv: ChangeVector, scn: SCN, worker_id: WorkerId, owner: object
+    ) -> bool:
         op = cv.op
         if op is CVOp.HEARTBEAT or op is CVOp.UNDO:
             # Heartbeats carry no change.  UNDO (rollback) restores rows to
@@ -81,7 +101,7 @@ class MiningComponent:
             return True
         if op is CVOp.DDL_MARKER:
             self.ddl_table.add(scn, cv.payload)
-            self.ddl_markers_mined += 1
+            self._ddl_markers_mined.inc()
             return True
         if cv.is_control:
             return self._sniff_control(cv, scn, owner)
@@ -95,25 +115,25 @@ class MiningComponent:
         if op is CVOp.TXN_BEGIN:
             anchor = self.journal.get_or_create(cv.xid, cv.tenant, owner)
             if anchor is None:
-                self.latch_misses += 1
+                self._latch_misses.inc()
                 return False
             anchor.has_begin = True
-            self.control_records_mined += 1
+            self._control_records_mined.inc()
             return True
         if op is CVOp.TXN_PREPARE:
             anchor = self.journal.get_or_create(cv.xid, cv.tenant, owner)
             if anchor is None:
-                self.latch_misses += 1
+                self._latch_misses.inc()
                 return False
             anchor.prepared = True
-            self.control_records_mined += 1
+            self._control_records_mined.inc()
             return True
         if op is CVOp.TXN_ABORT:
             removed = self.journal.remove(cv.xid, owner)
             if removed is None:
-                self.latch_misses += 1
+                self._latch_misses.inc()
                 return False
-            self.control_records_mined += 1
+            self._control_records_mined.inc()
             if self.on_abort is not None:
                 self.on_abort(cv.xid, scn)
             return True
@@ -125,7 +145,7 @@ class MiningComponent:
         payload: CommitPayload = cv.payload
         acquired, anchor = self.journal.get(cv.xid, owner)
         if not acquired:
-            self.latch_misses += 1
+            self._latch_misses.inc()
             return False
         if anchor is not None and anchor.has_begin:
             node = CommitTableNode(
@@ -141,7 +161,7 @@ class MiningComponent:
             #   True/None  -> coarse invalidation of the tenant's IMCUs
             #                 (None = no specialized redo: be pessimistic).
             if payload.modifies_imcs is False:
-                self.control_records_mined += 1
+                self._control_records_mined.inc()
                 return True
             node = CommitTableNode(
                 xid=cv.xid,
@@ -150,13 +170,13 @@ class MiningComponent:
                 tenant=cv.tenant,
                 coarse=True,
             )
-            self.coarse_nodes_created += 1
+            self._coarse_nodes_created.inc()
         if not self.commit_table.insert(node, owner):
-            self.latch_misses += 1
+            self._latch_misses.inc()
             if node.coarse:
-                self.coarse_nodes_created -= 1  # will be recreated on retry
+                self._coarse_nodes_created.inc(-1)  # recreated on retry
             return False
-        self.control_records_mined += 1
+        self._control_records_mined.inc()
         return True
 
     # ------------------------------------------------------------------
@@ -168,7 +188,7 @@ class MiningComponent:
         slots = self._changed_slots(cv)
         anchor = self.journal.get_or_create(cv.xid, cv.tenant, owner)
         if anchor is None:
-            self.latch_misses += 1
+            self._latch_misses.inc()
             return False
         anchor.add(
             worker_id,
@@ -180,7 +200,7 @@ class MiningComponent:
                 scn=scn,
             ),
         )
-        self.data_records_mined += 1
+        self._data_records_mined.inc()
         return True
 
     @staticmethod

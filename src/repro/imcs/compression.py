@@ -89,6 +89,15 @@ class NumericCU(ColumnCU):
             dtype=np.float64,
             count=self.n_rows,
         )
+        # the float64 vector cannot distinguish an original int 20 from a
+        # float 20.0, so int-ness is recorded at encode time -- decoded
+        # tuples must compare (and sort, and repr) equal to the row-store
+        # originals
+        self._is_int = np.fromiter(
+            (isinstance(v, int) for v in values),
+            dtype=bool,
+            count=self.n_rows,
+        )
         present = self._data[~self._nulls]
         self._min = float(present.min()) if present.size else None
         self._max = float(present.max()) if present.size else None
@@ -97,16 +106,15 @@ class NumericCU(ColumnCU):
         if self._nulls[i]:
             return None
         value = self._data[i]
-        # give back ints where the stored value is integral, so projected
-        # tuples compare equal to the row-store originals
-        return int(value) if value.is_integer() else float(value)
+        return int(value) if self._is_int[i] else float(value)
 
     def take(self, positions) -> list:
         values = self._data[positions].tolist()
         nulls = self._nulls[positions].tolist()
+        is_int = self._is_int[positions].tolist()
         return [
-            None if null else (int(v) if v.is_integer() else v)
-            for v, null in zip(values, nulls)
+            None if null else (int(v) if as_int else v)
+            for v, null, as_int in zip(values, nulls, is_int)
         ]
 
     def eq_mask(self, value: object) -> np.ndarray:
@@ -135,7 +143,9 @@ class NumericCU(ColumnCU):
 
     @property
     def memory_bytes(self) -> int:
-        return int(self._data.nbytes + self._nulls.nbytes)
+        return int(
+            self._data.nbytes + self._nulls.nbytes + self._is_int.nbytes
+        )
 
 
 class DictionaryCU(ColumnCU):

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.common.errors import NotInMemoryError
 from repro.common.ids import DBA, ObjectId, TenantId
 from repro.common.scn import SCN
@@ -69,12 +70,15 @@ class InMemorySegment:
 class InMemoryColumnStore:
     """Registry of enabled objects and their IMCU/SMU pairs."""
 
+    rows_invalidated = obs.view("_rows_invalidated")
+    coarse_invalidations = obs.view("_coarse_invalidations")
+
     def __init__(self, pool_size_bytes: Optional[int] = None) -> None:
         self.pool_size_bytes = pool_size_bytes
         self._segments: dict[ObjectId, InMemorySegment] = {}
         # statistics
-        self.rows_invalidated = 0
-        self.coarse_invalidations = 0
+        self._rows_invalidated = obs.counter("imcs.rows_invalidated")
+        self._coarse_invalidations = obs.counter("imcs.coarse_invalidations")
 
     # ------------------------------------------------------------------
     # enablement
@@ -284,7 +288,7 @@ class InMemoryColumnStore:
                 pending.append(_PendingInvalidation(dba, slots, scn))
             elif not slots:
                 smu.invalidate_block(dba, scn)
-                self.rows_invalidated += 1
+                self._rows_invalidated.inc()
             else:
                 entry = batches.get(id(smu))
                 if entry is None:
@@ -292,16 +296,16 @@ class InMemoryColumnStore:
                 else:
                     entry[1].append((dba, slots))
         for smu, batch in batches.values():
-            self.rows_invalidated += smu.invalidate_slots(batch, scn)
+            self._rows_invalidated.inc(smu.invalidate_slots(batch, scn))
 
     def _apply_to_smu(
         self, smu: SMU, dba: DBA, slots: tuple[int, ...], scn: SCN
     ) -> None:
         if not slots:
             smu.invalidate_block(dba, scn)
-            self.rows_invalidated += 1
+            self._rows_invalidated.inc()
             return
-        self.rows_invalidated += smu.invalidate_slots([(dba, slots)], scn)
+        self._rows_invalidated.inc(smu.invalidate_slots([(dba, slots)], scn))
 
     def invalidate_object(self, object_id: ObjectId, scn: SCN) -> None:
         segment = self._segments.get(object_id)
@@ -309,7 +313,7 @@ class InMemoryColumnStore:
             return
         for smu in segment.live_units():
             smu.invalidate_fully(scn)
-        self.coarse_invalidations += 1
+        self._coarse_invalidations.inc()
 
     def invalidate_tenant(self, tenant: TenantId, scn: SCN) -> int:
         """Coarse invalidation (paper, III-E): every IMCU of a tenant."""
@@ -321,7 +325,7 @@ class InMemoryColumnStore:
                 smu.invalidate_fully(scn)
                 touched += 1
         if touched:
-            self.coarse_invalidations += 1
+            self._coarse_invalidations.inc()
         return touched
 
     # ------------------------------------------------------------------

@@ -64,6 +64,10 @@ class LatencySeries:
 
     @property
     def average(self) -> float:
+        if not self.samples:
+            # match the percentile accessors: one uniform error for the
+            # empty series, not a bare ZeroDivisionError
+            raise ValueError("no values")
         return sum(self.samples) / len(self.samples)
 
     @property
@@ -71,7 +75,14 @@ class LatencySeries:
         return _percentile_of_sorted(self._ordered(), 95)
 
     def summary(self) -> dict[str, float]:
-        """The paper's triple: median / average / 95th percentile."""
+        """The paper's triple: median / average / 95th percentile.
+
+        An empty series has a defined summary -- NaN for every statistic
+        -- so report generators can render "no samples" rows without
+        special-casing."""
+        if not self.samples:
+            nan = float("nan")
+            return {"median": nan, "average": nan, "p95": nan}
         return {
             "median": self.median,
             "average": self.average,

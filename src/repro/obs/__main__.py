@@ -1,0 +1,72 @@
+"""CLI: run a short scenario and pretty-print its metrics snapshot.
+
+    python -m repro.obs                                # chaos 'baseline'
+    python -m repro.obs --scenario fal_gap_storm --seed 3
+    python -m repro.obs --json results/BENCH_obs_snapshot.json
+
+Reuses the chaos harness's deterministic scenarios as the driver: the
+harness builds the deployment under a collecting registry (with the redo
+lifecycle tracer attached), so the printed snapshot is the full
+instrument set -- pipeline counters plus per-stage lifecycle histograms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.chaos.harness import ChaosHarness
+from repro.chaos.scenarios import SCENARIOS, get_scenario
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="render the metrics snapshot of one scenario run",
+    )
+    parser.add_argument(
+        "--scenario", default="baseline",
+        help="chaos scenario to drive (known: %s)" % ", ".join(
+            sorted(SCENARIOS)
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the snapshot as JSON to PATH",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the rendered snapshot (verdict line only)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    report = ChaosHarness(scenario, seed=args.seed).run()
+    snapshot = report.metrics
+    if snapshot is None:  # pragma: no cover - harness always collects
+        print("scenario produced no metrics snapshot", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(snapshot.to_text())
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(snapshot.to_json() + "\n")
+        print(f"[snapshot saved to {path}]")
+    lifecycle_completed = snapshot.total("lifecycle.completed")
+    print(
+        f"{args.scenario}: {len(snapshot)} instruments, "
+        f"{int(lifecycle_completed)} redo records traced end-to-end, "
+        f"verdict {'PASS' if report.passed else 'FAIL'}"
+    )
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.common.config import SystemConfig
 from repro.common.ids import DBA, InstanceId, ObjectId, TenantId
 from repro.common.latch import QuiesceLock
@@ -67,6 +68,8 @@ class StandbySatellite:
     its IMCS, population engine and locally-published QuerySCN.
     """
 
+    groups_received = obs.view("_groups_received")
+
     def __init__(
         self,
         instance_id: InstanceId,
@@ -94,7 +97,9 @@ class StandbySatellite:
             dba_filter=self._is_homed_here,
         )
         self.scan_engine = ScanEngine(self.imcs, master.txn_table)
-        self.groups_received = 0
+        self._groups_received = obs.counter(
+            "rac.satellite.groups_received", instance=instance_id
+        )
         #: Batch sequences already accepted -- duplicated interconnect
         #: messages are re-acked but never re-staged.
         self._applied_sequences: set[int] = set()
@@ -157,7 +162,7 @@ class StandbySatellite:
                 self.imcs.invalidate_many(
                     group.object_id, group.blocks, group.commit_scn
                 )
-                self.groups_received += 1
+                self._groups_received.inc()
             for tenant, scn in batch.coarse_tenants:
                 self.imcs.invalidate_tenant(tenant, scn)
         self._staged.clear()
@@ -185,6 +190,9 @@ class RemoteInvalidationRouter:
     the interconnect in batched, pipelined messages; ``drained`` gates the
     master's QuerySCN publication on the satellites' acknowledgements."""
 
+    groups_routed_local = obs.view("_groups_routed_local")
+    groups_routed_remote = obs.view("_groups_routed_remote")
+
     def __init__(
         self,
         master_store: InMemoryColumnStore,
@@ -203,8 +211,12 @@ class RemoteInvalidationRouter:
         #: sequence keeps duplicated messages/acks idempotent.
         self._outstanding_acks: set[int] = set()
         self._sequence = 0
-        self.groups_routed_local = 0
-        self.groups_routed_remote = 0
+        self._groups_routed_local = obs.counter(
+            "rac.router.groups_routed_local"
+        )
+        self._groups_routed_remote = obs.counter(
+            "rac.router.groups_routed_remote"
+        )
 
     # -- router interface (used by InvalidationFlushComponent) -----------
     def route(self, group: InvalidationGroup) -> None:
@@ -217,14 +229,14 @@ class RemoteInvalidationRouter:
                 self.master_store.invalidate_many(
                     group.object_id, sub_blocks, group.commit_scn
                 )
-                self.groups_routed_local += 1
+                self._groups_routed_local.inc()
             else:
                 sub = InvalidationGroup(
                     group.object_id, group.tenant, group.commit_scn,
                     sub_blocks,
                 )
                 self._buffer(instance).groups.append(sub)
-                self.groups_routed_remote += 1
+                self._groups_routed_remote.inc()
                 self._maybe_flush_buffer(instance)
 
     def route_coarse(self, tenant: TenantId, scn: SCN) -> None:

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro import obs
 from repro.adg.apply import ApplyDistributor, RecoveryWorker
 from repro.adg.merger import LogMerger
 from repro.adg.queryscn import QuerySCNPublisher
@@ -76,24 +77,29 @@ class _FilteredDistributor(ApplyDistributor):
     owns below s -- unowned CVs are someone else's responsibility.
     """
 
+    cvs_skipped = obs.view("_cvs_skipped")
+
     def __init__(
         self, n_workers: int, owns: Callable[[ChangeVector], bool]
     ) -> None:
         super().__init__(n_workers)
         self._owns = owns
-        self.cvs_skipped = 0
+        self._cvs_skipped = obs.counter("rac.mira.cvs_skipped")
 
     def distribute(self, records: list[RedoRecord]) -> int:
         routed = 0
+        skipped = 0
         for record in records:
             for cv in record.cvs:
                 if self._owns(cv):
                     self.queues[self.worker_for(cv)].append((record.scn, cv))
                     routed += 1
                 else:
-                    self.cvs_skipped += 1
+                    skipped += 1
             if record.scn > self.distributed_through:
                 self.distributed_through = record.scn
+        if skipped:
+            self._cvs_skipped.inc(skipped)
         return routed
 
 
@@ -218,6 +224,10 @@ class _Advancement:
 class MIRACoordinator(Actor):
     """The global coordinator: cluster consistency point + flush + publish."""
 
+    advancements = obs.view("_advancements")
+    nodes_flushed = obs.view("_nodes_flushed")
+    cross_instance_gathers = obs.view("_cross_instance_gathers")
+
     def __init__(
         self,
         cluster: "MIRAStandbyCluster",
@@ -231,9 +241,12 @@ class MIRACoordinator(Actor):
         self.node = cluster.instances[0].node
         self._advancing: Optional[_Advancement] = None
         self._last_check = -1.0
-        self.advancements = 0
-        self.nodes_flushed = 0
-        self.cross_instance_gathers = 0
+        self._obs = obs.current()
+        self._advancements = obs.counter("rac.mira.advancements")
+        self._nodes_flushed = obs.counter("rac.mira.nodes_flushed")
+        self._cross_instance_gathers = obs.counter(
+            "rac.mira.cross_instance_gathers"
+        )
 
     # ------------------------------------------------------------------
     def step(self, sched: Scheduler) -> Optional[float]:
@@ -255,6 +268,12 @@ class MIRACoordinator(Actor):
                 worklink.extend(instance.commit_table.chop(candidate))
             worklink.sort(key=lambda n: n.commit_scn)
             self._advancing = _Advancement(candidate, worklink)
+            tracer = obs.tracer_of(self._obs)
+            if tracer is not None:
+                for node in worklink:
+                    tracer.record_chopped(node.commit_scn)
+            # DDL processing is pre-publication, exactly like the
+            # single-instance AdvanceProtocol's begin_advance
             self._process_ddl(candidate)
             cost += 5e-6
         advancement = self._advancing
@@ -268,7 +287,7 @@ class MIRACoordinator(Actor):
             self._flush_node(node)
             advancement.position += 1
             flushed += 1
-            self.nodes_flushed += 1
+            self._nodes_flushed.inc()
         cost += 1e-6 * max(flushed, 1)
         if advancement.position < len(advancement.worklink):
             return cost
@@ -292,7 +311,7 @@ class MIRACoordinator(Actor):
         finally:
             for instance in acquired:
                 instance.quiesce_lock.release_exclusive(self)
-        self.advancements += 1
+        self._advancements.inc()
         self._advancing = None
         return cost + 2e-6
 
@@ -309,6 +328,9 @@ class MIRACoordinator(Actor):
             removed = instance.journal.remove(node.xid, self)
             while removed is None:
                 removed = instance.journal.remove(node.xid, self)
+        tracer = obs.tracer_of(self._obs)
+        if tracer is not None:
+            tracer.record_flushed(node.commit_scn)
 
     def _gather_groups(self, node: CommitTableNode) -> list[InvalidationGroup]:
         """Collect the transaction's records from *every* instance's
@@ -344,7 +366,7 @@ class MIRACoordinator(Actor):
                         sorted(set(existing) | set(record.slots))
                     )
         if gathered_remote:
-            self.cross_instance_gathers += 1
+            self._cross_instance_gathers.inc()
         return list(groups.values())
 
     def _process_ddl(self, target: SCN) -> None:
@@ -397,6 +419,11 @@ class MIRAStandbyCluster:
             raise ValueError("MIRA needs at least one apply instance")
         self.config = config or primary.config
         self.sched = sched
+        registry = obs.current()
+        if registry is not None and registry.tracer is None:
+            # MIRA clusters are often built standalone (no Deployment):
+            # arm the lifecycle tracer here, like Deployment.build does
+            registry.tracer = obs.RedoLifecycleTracer(sched, registry)
         # shared mounted database
         self.block_store = BlockStore()
         self.buffer_cache = BufferCache(capacity_blocks=None)

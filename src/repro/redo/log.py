@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro import obs
 from repro.common.errors import RedoCorruptionError
 from repro.common.ids import InstanceId
 from repro.common.scn import NULL_SCN, SCN
@@ -23,6 +24,7 @@ class RedoLog:
         self.thread = thread
         self._records: list[RedoRecord] = []
         self._last_scn: SCN = NULL_SCN
+        self._obs = obs.current()
 
     def append(self, record: RedoRecord) -> None:
         if record.thread != self.thread:
@@ -37,6 +39,9 @@ class RedoLog:
             )
         self._records.append(record)
         self._last_scn = record.scn
+        tracer = obs.tracer_of(self._obs)
+        if tracer is not None:
+            tracer.record_generated(record)
 
     def __len__(self) -> int:
         return len(self._records)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
+from repro import obs
 from repro.chaos import sites
 from repro.common.ids import InstanceId
 from repro.common.scn import NULL_SCN, SCN
@@ -32,6 +33,15 @@ from repro.sim.scheduler import Actor, Scheduler
 
 class RedoReceiver:
     """Standby-side landing zone: one inbound queue per redo thread."""
+
+    #: Archive gaps detected and FAL-healed.
+    gaps_resolved = obs.view("_gaps_resolved")
+    gap_records_fetched = obs.view("_gap_records_fetched")
+    #: Already-received records discarded on redelivery (duplicated or
+    #: reordered shipments; redo application must stay exactly-once).
+    duplicates_discarded = obs.view("_duplicates_discarded")
+    #: Whole batches dropped by an installed chaos fault.
+    batches_dropped = obs.view("_batches_dropped")
 
     def __init__(self, fal_fetch=None) -> None:
         self._queues: dict[InstanceId, deque[RedoRecord]] = {}
@@ -45,13 +55,15 @@ class RedoReceiver:
         #: fal_fetch(thread, lo, hi) -> list[RedoRecord]: fetches the
         #: positions [lo, hi) from the primary's archived logs.
         self.fal_fetch = fal_fetch
-        self.gaps_resolved = 0
-        self.gap_records_fetched = 0
-        #: Already-received records discarded on redelivery (duplicated or
-        #: reordered shipments; redo application must stay exactly-once).
-        self.duplicates_discarded = 0
-        #: Whole batches dropped by an installed chaos fault.
-        self.batches_dropped = 0
+        self._obs = obs.current()
+        self._gaps_resolved = obs.counter("redo.receiver.gaps_resolved")
+        self._gap_records_fetched = obs.counter(
+            "redo.receiver.gap_records_fetched"
+        )
+        self._duplicates_discarded = obs.counter(
+            "redo.receiver.duplicates_discarded"
+        )
+        self._batches_dropped = obs.counter("redo.receiver.batches_dropped")
         self._chaos = sites.declare("redo.receive", owner=self)
 
     def register_thread(self, thread: InstanceId) -> None:
@@ -84,7 +96,7 @@ class RedoReceiver:
                 count=len(records),
             )
             if decision.action is sites.Action.DROP:
-                self.batches_dropped += 1
+                self._batches_dropped.inc()
                 return
         if position is not None:
             if records:
@@ -104,15 +116,18 @@ class RedoReceiver:
                 # redelivery (duplicated or reordered shipment): the
                 # prefix up to the watermark already landed -- discard it
                 already = min(expected - position, len(records))
-                self.duplicates_discarded += already
+                self._duplicates_discarded.inc(already)
                 records = records[already:]
                 position = expected
             self._expected_position[thread] = position + len(records)
             self.records_landed[thread] += len(records)
+        tracer = obs.tracer_of(self._obs)
         for record in records:
             self._queues[record.thread].append(record)
             if record.scn > self.received_scn[record.thread]:
                 self.received_scn[record.thread] = record.scn
+            if tracer is not None:
+                tracer.record_received(record)
 
     def _resolve_gap(self, thread: InstanceId, lo: int, hi: int) -> None:
         if self.fal_fetch is None:
@@ -125,13 +140,23 @@ class RedoReceiver:
             raise RuntimeError(
                 f"FAL returned {len(fetched)} records for gap of {hi - lo}"
             )
+        tracer = obs.tracer_of(self._obs)
         for record in fetched:
+            if record.thread not in self._queues:
+                # FAL answered with redo from a thread this receiver has
+                # not yet registered (a late-added primary instance whose
+                # first shipment is still in flight): land it rather than
+                # KeyError -- gap accounting below still charges the
+                # thread whose gap triggered the fetch.
+                self.register_thread(record.thread)
             self._queues[record.thread].append(record)
             if record.scn > self.received_scn[record.thread]:
                 self.received_scn[record.thread] = record.scn
+            if tracer is not None:
+                tracer.record_received(record)
         self.records_landed[thread] += hi - lo
-        self.gaps_resolved += 1
-        self.gap_records_fetched += hi - lo
+        self._gaps_resolved.inc()
+        self._gap_records_fetched.inc(hi - lo)
 
     @property
     def threads(self) -> list[InstanceId]:
@@ -154,6 +179,9 @@ class LogShipper(Actor):
     #: Simulated CPU seconds per shipped record (marshalling overhead).
     COST_PER_RECORD = 2e-6
 
+    #: Records lost in transit by an installed chaos fault.
+    records_dropped = obs.view("_records_dropped")
+
     def __init__(
         self,
         log: RedoLog,
@@ -169,8 +197,10 @@ class LogShipper(Actor):
         self.batch = batch
         self.node = node
         self.name = name or f"shipper-t{log.thread}"
-        #: Records lost in transit by an installed chaos fault.
-        self.records_dropped = 0
+        self._obs = obs.current()
+        self._records_dropped = obs.counter(
+            "redo.shipper.records_dropped", thread=log.thread
+        )
         self._chaos = sites.declare("redo.ship", owner=self)
         receiver.register_thread(log.thread)
 
@@ -201,7 +231,7 @@ class LogShipper(Actor):
             if decision.action is sites.Action.DROP:
                 # lost in transit: the reader advanced, creating an
                 # archive gap the receiver will FAL-heal
-                self.records_dropped += len(records)
+                self._records_dropped.inc(len(records))
                 return self.COST_PER_RECORD * len(records)
             if decision.action is sites.Action.DELAY:
                 latency += decision.delay
@@ -210,6 +240,10 @@ class LogShipper(Actor):
                     latency + self.latency,
                     lambda: receiver.deliver(records, position),
                 )
+        tracer = obs.tracer_of(self._obs)
+        if tracer is not None:
+            for record in records:
+                tracer.record_shipped(record)
         sched.call_after(
             latency, lambda: receiver.deliver(records, position)
         )

@@ -210,6 +210,49 @@ class TestCoordinator:
         sched.run_until(0.4)
         assert query_scn.value == 10
 
+    def test_adjusted_publish_latency_excludes_stall_time(self):
+        """Regression: the mean publish latency used to charge quiesce
+        stalls to the advancement itself, hiding pipeline slowness behind
+        lock contention.  The stall-adjusted mean strips the window spent
+        postponed; the raw mean keeps its historical meaning."""
+        receiver, merger, query_scn, coord, sched, applier = build_pipeline()
+        holder = object()
+        assert coord.quiesce_lock.try_acquire_shared(holder)
+        receiver.deliver([rec(10, dba=1)])
+        sched.run_until(0.2)
+        assert query_scn.value == 0  # postponed behind the holder
+        coord.quiesce_lock.release_shared(holder)
+        sched.run_until(0.4)
+        assert query_scn.value == 10
+        assert coord.quiesce_wait_retries >= 1
+        assert coord.publish_stall_time_total > 0.0
+        assert coord.mean_adjusted_publish_latency >= 0.0
+        assert (
+            coord.mean_adjusted_publish_latency
+            < coord.mean_publish_latency
+        )
+        # the two means are linked by exactly the stall time
+        assert coord.mean_publish_latency - \
+            coord.mean_adjusted_publish_latency == pytest.approx(
+                coord.publish_stall_time_total / coord.advancements
+            )
+
+    def test_unstalled_advance_has_equal_raw_and_adjusted_latency(self):
+        receiver, merger, query_scn, coord, sched, applier = build_pipeline()
+        receiver.deliver([rec(10, dba=1)])
+        sched.run_until(0.5)
+        assert query_scn.value == 10
+        assert coord.publish_stall_time_total == 0.0
+        assert coord.mean_adjusted_publish_latency == pytest.approx(
+            coord.mean_publish_latency
+        )
+
+    def test_mean_latencies_zero_before_first_advancement(self):
+        receiver, merger, query_scn, coord, sched, applier = build_pipeline()
+        assert coord.advancements == 0
+        assert coord.mean_publish_latency == 0.0
+        assert coord.mean_adjusted_publish_latency == 0.0
+
     def test_advance_protocol_hooks_called_in_order(self):
         calls = []
 

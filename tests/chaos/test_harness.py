@@ -56,6 +56,20 @@ class TestScenarioReport:
         assert "FAIL  golden" in text
         assert "verdict: FAIL" in text
 
+    def test_metrics_section_only_rendered_when_present(self):
+        from repro.obs import MetricsRegistry
+
+        bare = make_report()
+        assert bare.metrics is None
+        assert "metrics:" not in bare.to_text()
+        registry = MetricsRegistry()
+        registry.counter("lifecycle.tracked").inc(10)
+        registry.counter("lifecycle.completed").inc(9)
+        report = make_report()
+        report.metrics = registry.snapshot()
+        assert "metrics: 2 instruments, 9/10 redo records traced to" \
+            in report.to_text()
+
 
 class TestHarnessRun:
     def test_baseline_run_passes_and_replays_identically(self):
@@ -66,6 +80,23 @@ class TestHarnessRun:
         assert first.to_text() == again.to_text()  # byte-identical
         assert len(first.lag) > 10  # the sampler ran
         assert first.stats["advancements"] > 0
+
+    def test_run_collects_metrics_with_lifecycle_histograms(self):
+        """Every harness run snapshots a collecting registry: pipeline
+        counters plus non-zero redo-lifecycle stage histograms."""
+        report = ChaosHarness(get_scenario("baseline"), seed=11).run()
+        snapshot = report.metrics
+        assert snapshot is not None
+        assert snapshot.total("lifecycle.completed") > 0
+        for stage in ("shipped", "received", "merged", "applied",
+                      "published"):
+            entry = snapshot.get(f"lifecycle.stage.{stage}")
+            assert entry is not None and entry["count"] > 0, stage
+        lag = snapshot.get("lifecycle.visibility_lag")
+        assert lag is not None and lag["count"] > 0 and lag["mean"] > 0
+        # the converted ad-hoc counters land in the same snapshot
+        assert snapshot.total("adg.coordinator.advancements") > 0
+        assert snapshot.total("adg.queryscn.publications") > 0
 
     def test_run_scenario_convenience(self):
         report = run_scenario(get_scenario("baseline"), seed=3)

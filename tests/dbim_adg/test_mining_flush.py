@@ -335,3 +335,36 @@ class TestFlush:
         flush.begin_advance(360)
         assert store.segment(oid).live_units()  # still there
         assert len(dt) == 1
+
+    def test_ddl_drop_happens_pre_publication_not_in_finish_advance(self):
+        """Paper III-D ordering: DDL-affected IMCUs are dropped in
+        ``begin_advance`` -- *before* the coordinator can publish the new
+        QuerySCN -- and ``finish_advance`` is pure post-publication
+        bookkeeping that performs no DDL work (this pins the protocol
+        docstrings' corrected step ordering)."""
+        table = make_table()
+        txns = FakeTxnView()
+        journal, ct, dt, store, miner, flush = make_stack(table)
+        populate(table, store, txns)
+        oid = table.default_partition.object_id
+        payload = DDLMarkerPayload("drop_column", (oid,), "T", {"column": "n1"})
+        cv = ChangeVector(CVOp.DDL_MARKER, ddl_marker_dba(oid), oid, 0, X1,
+                          payload)
+        miner.sniff(cv, 350, 0, object())
+        flush.begin_advance(360)
+        # dropped at begin_advance time: a reader at the published SCN can
+        # never see a stale unit for the DDL-affected object
+        assert store.segment(oid).live_units() == []
+        assert flush.ddl_processed == 1
+        # a second, deferred DDL past the target stays pending across
+        # finish_advance -- finishing must not process it early
+        late = DDLMarkerPayload("drop_column", (oid,), "T", {"column": "n2"})
+        late_cv = ChangeVector(CVOp.DDL_MARKER, ddl_marker_dba(oid), oid, 0,
+                               X1, late)
+        miner.sniff(late_cv, 500, 0, object())
+        while not flush.is_advance_complete():
+            flush.coordinator_flush(8)
+        flush.finish_advance(360)
+        assert flush.worklink is None  # drained worklink retired
+        assert flush.ddl_processed == 1  # no DDL ran in finish_advance
+        assert len(dt) == 1  # the late marker is still buffered

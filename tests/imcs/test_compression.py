@@ -41,6 +41,23 @@ class TestNumericCU:
     def test_memory_bytes_positive(self):
         assert NumericCU([1, 2, 3]).memory_bytes > 0
 
+    def test_decode_preserves_int_vs_float_identity(self):
+        """Regression: the float64 storage cannot distinguish 20 from
+        20.0, and decode used to hand back ints for any integral value --
+        so a column loaded with 20.0 scanned as 20, diverging from the
+        row store.  Int-ness is recorded at encode time per row."""
+        cu = NumericCU([20, 20.0, -3.0, -3, None, 1.5])
+        decoded = [cu.get(i) for i in range(6)]
+        assert decoded == [20, 20.0, -3.0, -3, None, 1.5]
+        types = [type(v) for v in decoded if v is not None]
+        assert types == [int, float, float, int, float]
+
+    def test_take_preserves_int_vs_float_identity(self):
+        cu = NumericCU([0.0, 7, None, 8.0])
+        taken = cu.take(np.array([3, 0, 1, 2]))
+        assert taken == [8.0, 0.0, 7, None]
+        assert [type(v) for v in taken[:3]] == [float, float, int]
+
 
 class TestDictionaryCU:
     def test_roundtrip(self):

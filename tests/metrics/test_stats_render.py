@@ -61,6 +61,22 @@ class TestLatencySeries:
         series.summary()
         assert sort_calls == 1  # median and p95 shared one sorted copy
 
+    def test_empty_series_is_uniform_across_accessors(self):
+        """Regression: ``average`` used to leak a bare ZeroDivisionError
+        on an empty series while the percentile accessors raised
+        ValueError('no values') -- one uniform error now."""
+        series = LatencySeries("Q1")
+        for accessor in ("median", "average", "p95"):
+            with pytest.raises(ValueError, match="no values"):
+                getattr(series, accessor)
+
+    def test_empty_series_summary_is_nan_triple(self):
+        import math
+
+        summary = LatencySeries("Q1").summary()
+        assert set(summary) == {"median", "average", "p95"}
+        assert all(math.isnan(v) for v in summary.values())
+
     def test_record_invalidates_the_sorted_cache(self):
         series = LatencySeries("Q1")
         series.record(10.0)

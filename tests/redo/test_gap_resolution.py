@@ -136,6 +136,29 @@ class TestReceiverGapEdges:
         with pytest.raises(ValueError, match="explicit thread"):
             receiver.deliver([], position=4)
 
+    def test_fal_answer_from_unregistered_thread_lands(self):
+        """Regression: a FAL source may answer with redo from a thread
+        this receiver has not registered yet (a late-added primary
+        instance whose own first shipment is still in flight).  Those
+        records must land in a fresh queue, not KeyError the heal."""
+
+        def fal(thread, lo, hi):
+            # the archived range interleaves thread-2 redo
+            return [rec(100 + i, thread=2) for i in range(lo, hi)]
+
+        receiver = RedoReceiver(fal_fetch=fal)
+        receiver.register_thread(1)
+        receiver.deliver([rec(10)], position=0)
+        receiver.deliver([rec(30)], position=5)  # gap [1, 5)
+        assert receiver.gaps_resolved == 1
+        assert receiver.gap_records_fetched == 4
+        assert 2 in receiver.threads
+        assert sorted(r.scn for r in receiver.queue(2)) == [101, 102, 103, 104]
+        assert receiver.received_scn[2] == 104
+        # gap accounting still charges the thread whose gap triggered it
+        assert receiver.records_landed[1] == 1 + 4 + 1
+        assert receiver.expected_position(1) == 6
+
     def test_duplicate_redelivery_discarded(self):
         """Redelivering an already-landed batch (duplicated or reordered
         shipment) must not apply redo twice."""
