@@ -48,6 +48,7 @@ KNOWN_SITES = (
     "rac.message",         # Interconnect: one event per message send
     "flush.worklink",      # InvalidationFlushComponent: per flush call
     "db.failover",         # failover(): role-transition milestones
+    "query.pool",          # QueryWorkerPool: per dequeued morsel
 )
 
 

@@ -27,6 +27,7 @@ class Latch:
         self._holder: Optional[object] = None
         self.acquisitions = 0
         self.misses = 0
+        self.breaks = 0
 
     @property
     def holder(self) -> Optional[object]:
@@ -54,6 +55,22 @@ class Latch:
                 f"latch {self.name!r} released by non-holder {owner!r}"
             )
         self._holder = None
+
+    def break_held(self) -> Optional[object]:
+        """Forcibly release the latch regardless of holder (PMON-style
+        latch recovery).
+
+        In this cooperative simulation every legitimate critical section
+        acquires and releases its latch within a single actor step, so a
+        latch still held when another actor observes it can only belong to
+        a crashed or stalled actor.  Returns the previous holder (``None``
+        if the latch was already free).
+        """
+        holder = self._holder
+        if holder is not None:
+            self._holder = None
+            self.breaks += 1
+        return holder
 
     def __repr__(self) -> str:
         state = "held" if self.is_held() else "free"
@@ -87,6 +104,10 @@ class BucketLatchSet:
     @property
     def total_acquisitions(self) -> int:
         return sum(latch.acquisitions for latch in self._latches)
+
+    @property
+    def total_breaks(self) -> int:
+        return sum(latch.breaks for latch in self._latches)
 
 
 class QuiesceLock:

@@ -56,6 +56,8 @@ class Deployment:
         self.config = config
         #: Optional SIRA standby RAC (see add_standby_cluster).
         self.standby_cluster = None
+        #: Optional query service layer (see start_query_service).
+        self.query_service = None
         #: The metrics registry that was collecting while the pipeline was
         #: constructed (None outside ``obs.collecting``); its ``tracer``
         #: stamps redo through the lifecycle stages.
@@ -127,6 +129,33 @@ class Deployment:
         )
         self.standby_cluster.attach_actors(self.sched)
         return self.standby_cluster
+
+    # ------------------------------------------------------------------
+    # query service + routing liveness
+    # ------------------------------------------------------------------
+    @property
+    def standby_mounted(self) -> bool:
+        """Whether the standby is still serving: its recovery coordinator
+        is scheduled.  ``failover()`` removes it, which flips
+        PRIMARY_AND_STANDBY routing back to the (new) primary."""
+        return self.standby.coordinator in self.sched.actors
+
+    def start_query_service(
+        self,
+        n_workers: int = 4,
+        cache_capacity: int = 256,
+        enable_cache: bool = True,
+    ):
+        """Attach a morsel-parallel query service to the standby."""
+        from repro.query.service import QueryService
+
+        self.query_service = QueryService(
+            self.standby, self.sched,
+            n_workers=n_workers,
+            cache_capacity=cache_capacity,
+            enable_cache=enable_cache,
+        )
+        return self.query_service
 
     # ------------------------------------------------------------------
     # schema + in-memory management

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.common.errors import InvalidStateError, ObjectNotFoundError
 
@@ -36,10 +37,26 @@ class ServiceDefinition:
 
 
 class ServiceRegistry:
-    """Named services and the sessions' routing decisions."""
+    """Named services and the sessions' routing decisions.
 
-    def __init__(self) -> None:
+    ``standby_available`` is an optional liveness probe (e.g. "is the
+    standby's coordinator still scheduled?").  When it reports the
+    standby down, PRIMARY_AND_STANDBY services fail over to the primary
+    instead of handing out dead routes, and STANDBY_ONLY connects fail
+    fast.
+    """
+
+    def __init__(
+        self,
+        standby_available: Optional[Callable[[], bool]] = None,
+    ) -> None:
         self._services: dict[str, ServiceDefinition] = {}
+        self._standby_available = standby_available
+
+    def standby_up(self) -> bool:
+        if self._standby_available is None:
+            return True
+        return bool(self._standby_available())
 
     def create(self, name: str, service: Service) -> ServiceDefinition:
         if name in self._services:
@@ -65,7 +82,14 @@ class ServiceRegistry:
         if service is Service.PRIMARY_ONLY:
             return "primary"
         if service is Service.STANDBY_ONLY:
+            if not self.standby_up():
+                raise InvalidStateError(
+                    f"service {name!r} is standby-only and no standby "
+                    "is mounted"
+                )
             return "standby"
+        if not self.standby_up():
+            return "primary"  # failover: never hand out a dead route
         return "standby" if prefer_standby else "primary"
 
     def __contains__(self, name: str) -> bool:

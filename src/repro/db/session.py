@@ -11,12 +11,17 @@ the service lands on the primary.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.common.errors import InvalidStateError
 from repro.db.deployment import Deployment
 from repro.db.services import ServiceRegistry
 from repro.db.sql import parse_query
+from repro.query.admission import (
+    AdmissionController,
+    AdmissionTimeout,
+    PoolExhaustedError,
+)
 
 
 class ReadOnlyError(InvalidStateError):
@@ -32,11 +37,14 @@ class Session:
         service_name: str,
         registry: ServiceRegistry,
         prefer_standby: bool = True,
+        on_close: Optional[Callable[["Session"], None]] = None,
     ) -> None:
         self.deployment = deployment
         self.service_name = service_name
         self.role = registry.route(service_name, prefer_standby)
         self._txn = None
+        self._on_close = on_close
+        self.closed = False
         self.queries_run = 0
 
     # ------------------------------------------------------------------
@@ -118,18 +126,135 @@ class Session:
             self.deployment.primary.rollback(self._txn)
         self._txn = None
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Return the session's pool slot (idempotent); rolls back any
+        open transaction first."""
+        if self.closed:
+            return
+        if self._txn is not None and self._txn.is_active:
+            self.deployment.primary.rollback(self._txn)
+            self._txn = None
+        self.closed = True
+        if self._on_close is not None:
+            self._on_close(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         return f"Session(service={self.service_name!r}, role={self.role})"
 
 
+class PendingSession:
+    """A queued connect: resolves when a pool slot frees up."""
+
+    __slots__ = ("service_name", "session", "timed_out", "_waiter")
+
+    def __init__(self, service_name: str) -> None:
+        self.service_name = service_name
+        self.session: Optional[Session] = None
+        self.timed_out = False
+        self._waiter = None
+
+    @property
+    def ready(self) -> bool:
+        return self.session is not None
+
+    def get(self) -> Session:
+        if self.timed_out:
+            raise AdmissionTimeout(
+                f"queued connect to {self.service_name!r} timed out"
+            )
+        if self.session is None:
+            raise InvalidStateError("queued connect not granted yet")
+        return self.session
+
+
 class SessionPool:
-    """Creates service-routed sessions against one deployment."""
+    """Creates service-routed sessions against one deployment.
 
-    def __init__(self, deployment: Deployment) -> None:
+    By default the pool is unbounded (backwards compatible).  With
+    ``max_sessions`` / ``per_service`` set it enforces admission
+    control: :meth:`connect` is admit-or-raise, :meth:`connect_queued`
+    parks the request until a session closes (or the timeout passes).
+    Routing is failover-aware: when the deployment reports no mounted
+    standby, PRIMARY_AND_STANDBY services route to the primary.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        max_sessions: Optional[int] = None,
+        per_service: Optional[dict[str, int]] = None,
+        queue_limit: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self.deployment = deployment
-        self.registry = ServiceRegistry()
-
-    def connect(self, service_name: str, prefer_standby: bool = True) -> Session:
-        return Session(
-            self.deployment, service_name, self.registry, prefer_standby
+        self.registry = ServiceRegistry(
+            standby_available=lambda: deployment.standby_mounted
         )
+        self.admission = AdmissionController(
+            limit=max_sessions,
+            per_service=per_service,
+            queue_limit=queue_limit,
+            clock=clock or (lambda: deployment.sched.now),
+        )
+
+    def _make_session(
+        self, service_name: str, prefer_standby: bool
+    ) -> Session:
+        return Session(
+            self.deployment, service_name, self.registry, prefer_standby,
+            on_close=lambda s: self.admission.release(s.service_name),
+        )
+
+    def connect(
+        self, service_name: str, prefer_standby: bool = True
+    ) -> Session:
+        """Admit immediately or raise :class:`PoolExhaustedError`."""
+        self.registry.get(service_name)  # unknown service: fail first
+        if not self.admission.try_admit(service_name):
+            raise PoolExhaustedError(
+                f"session pool at capacity for service {service_name!r}"
+            )
+        try:
+            return self._make_session(service_name, prefer_standby)
+        except BaseException:
+            self.admission.release(service_name)
+            raise
+
+    def connect_queued(
+        self,
+        service_name: str,
+        prefer_standby: bool = True,
+        timeout: Optional[float] = None,
+    ) -> PendingSession:
+        """Queue for a slot; the pending resolves when one frees up."""
+        self.registry.get(service_name)
+        pending = PendingSession(service_name)
+
+        def grant() -> None:
+            try:
+                pending.session = self._make_session(
+                    service_name, prefer_standby
+                )
+            except BaseException:
+                self.admission.release(service_name)
+                raise
+
+        def expired() -> None:
+            pending.timed_out = True
+
+        pending._waiter = self.admission.enqueue(
+            service_name, grant, timeout=timeout, on_timeout=expired
+        )
+        return pending
+
+    def expire_waiters(self) -> int:
+        return self.admission.expire_waiters()

@@ -78,6 +78,25 @@ class LocalInvalidationRouter:
         return True  # local application is synchronous
 
 
+class InvalidationListener:
+    """Observer interface for flushed invalidations.
+
+    The flush component notifies listeners *while* draining the worklink,
+    i.e. before the coordinator publishes the new QuerySCN -- the ordering
+    the QuerySCN-keyed result cache relies on (an entry is dropped before
+    any query can observe the SCN that invalidated it).
+    """
+
+    def on_object_invalidated(self, object_id: ObjectId, scn: SCN) -> None:
+        """A flushed invalidation group touched ``object_id``."""
+
+    def on_coarse_invalidation(self, tenant: TenantId, scn: SCN) -> None:
+        """A coarse (tenant-wide) invalidation was routed (paper, III-E)."""
+
+    def on_object_dropped(self, object_id: ObjectId, scn: SCN) -> None:
+        """A DDL marker dropped/disabled ``object_id``'s IMCUs."""
+
+
 @dataclass(slots=True)
 class Worklink:
     """The chopped-off commit-table prefix being flushed (paper, Fig. 8)."""
@@ -140,6 +159,27 @@ class InvalidationFlushComponent:
         self._ddl_processed = obs.counter("dbim.flush.ddl_processed")
         self._chaos_stalls = obs.counter("dbim.flush.chaos_stalls")
         self._chaos = sites.declare("flush.worklink", owner=self)
+        #: Observers of flushed invalidations (e.g. the query result
+        #: cache).  Each listener is called *during* the flush -- i.e.
+        #: strictly before the new QuerySCN is published.
+        self.invalidation_listeners: list["InvalidationListener"] = []
+
+    def add_invalidation_listener(
+        self, listener: "InvalidationListener"
+    ) -> None:
+        self.invalidation_listeners.append(listener)
+
+    def _notify_group(self, group: InvalidationGroup) -> None:
+        for listener in self.invalidation_listeners:
+            listener.on_object_invalidated(group.object_id, group.commit_scn)
+
+    def _notify_coarse(self, tenant: TenantId, scn: SCN) -> None:
+        for listener in self.invalidation_listeners:
+            listener.on_coarse_invalidation(tenant, scn)
+
+    def _notify_ddl(self, object_id: ObjectId, scn: SCN) -> None:
+        for listener in self.invalidation_listeners:
+            listener.on_object_dropped(object_id, scn)
 
     # ------------------------------------------------------------------
     # AdvanceProtocol
@@ -204,15 +244,19 @@ class InvalidationFlushComponent:
         if node.coarse:
             self.router.route_coarse(node.tenant, node.commit_scn)
             self._coarse_flushes.inc()
+            self._notify_coarse(node.tenant, node.commit_scn)
         elif node.anchor is not None:
             for group in self._gather_groups(node):
                 self.router.route(group)
                 self._groups_created.inc()
-        # the anchor's job is done: release it from the journal (retry the
-        # latch inline -- the flush owns the advancement critical path)
-        removed = self.journal.remove(node.xid, self)
-        while removed is None:
-            removed = self.journal.remove(node.xid, self)
+                self._notify_group(group)
+        # the anchor's job is done: release it from the journal.  The flush
+        # owns the advancement critical path, so an unbounded retry here
+        # would livelock QuerySCN advancement if the latch holder died
+        # (e.g. a recovery worker crashed mid-mine); the recovery variant
+        # spins a bounded number of times and then breaks the dead
+        # holder's latch.
+        self.journal.remove_with_recovery(node.xid, self)
         tracer = obs.tracer_of(self._obs)
         if tracer is not None:
             tracer.record_flushed(node.commit_scn)
@@ -220,20 +264,34 @@ class InvalidationFlushComponent:
     def _gather_groups(self, node: CommitTableNode) -> list[InvalidationGroup]:
         """Organise a transaction's records into invalidation groups
         (paper, III-D: "chunks them up into invalidation groups based on
-        the DBA ranges for IMCUs")."""
+        the DBA ranges for IMCUs").
+
+        ``group_block_limit`` caps *distinct DBAs* per group (RAC message
+        sizing), so a new group may only be opened when a record adds a
+        **new** DBA.  A record for a DBA already placed in some group of
+        this transaction must merge into that group's entry -- otherwise
+        one block's slot set would be split across groups, defeating the
+        whole-block-wins rule and routing the DBA twice (double epoch
+        bumps locally, duplicate interconnect entries on RAC).
+        """
         assert node.anchor is not None
-        groups: dict[ObjectId, InvalidationGroup] = {}
+        open_group: dict[ObjectId, InvalidationGroup] = {}
+        assigned: dict[tuple[ObjectId, DBA], InvalidationGroup] = {}
         out: list[InvalidationGroup] = []
         for record in node.anchor.all_records():
-            group = groups.get(record.object_id)
-            if group is None or group.n_blocks >= self.group_block_limit:
-                group = InvalidationGroup(
-                    object_id=record.object_id,
-                    tenant=record.tenant,
-                    commit_scn=node.commit_scn,
-                )
-                groups[record.object_id] = group
-                out.append(group)
+            key = (record.object_id, record.dba)
+            group = assigned.get(key)
+            if group is None:
+                group = open_group.get(record.object_id)
+                if group is None or group.n_blocks >= self.group_block_limit:
+                    group = InvalidationGroup(
+                        object_id=record.object_id,
+                        tenant=record.tenant,
+                        commit_scn=node.commit_scn,
+                    )
+                    open_group[record.object_id] = group
+                    out.append(group)
+                assigned[key] = group
             existing = group.blocks.get(record.dba)
             if existing is None:
                 group.blocks[record.dba] = record.slots
@@ -252,6 +310,7 @@ class InvalidationFlushComponent:
                 self.store.drop_units(object_id)
                 if entry.payload.kind in ("drop_table", "alter_no_inmemory"):
                     self.store.disable(object_id)
+                self._notify_ddl(object_id, entry.scn)
             if self.ddl_applier is not None:
                 self.ddl_applier(entry.payload)
             self._ddl_processed.inc()

@@ -77,6 +77,8 @@ class IMADGJournal:
 
     anchors_created = obs.view("_anchors_created")
 
+    latch_breaks = obs.view("_latch_breaks")
+
     def __init__(self, n_buckets: int = 64) -> None:
         if n_buckets < 1:
             raise ValueError("journal needs at least one bucket")
@@ -85,6 +87,7 @@ class IMADGJournal:
         ]
         self.latches = BucketLatchSet(n_buckets, name="im-adg-journal")
         self._anchors_created = obs.counter("dbim.journal.anchors_created")
+        self._latch_breaks = obs.counter("dbim.journal.latch_breaks")
 
     def _bucket_index(self, xid: TransactionId) -> int:
         return hash(xid) % len(self._buckets)
@@ -132,6 +135,52 @@ class IMADGJournal:
             return self._buckets[index].pop(xid, None) is not None
         finally:
             latch.release(owner)
+
+    # ------------------------------------------------------------------
+    # latch recovery (bounded retry, then break the dead owner's latch)
+    # ------------------------------------------------------------------
+    # A bucket latch observed held by someone else can only belong to a
+    # crashed or stalled actor: every legitimate critical section on the
+    # journal is contained within a single scheduler step, so no live
+    # actor ever holds a bucket latch while another actor runs.  The
+    # recovery variants spin a bounded number of times (in case of a
+    # same-step recursive-owner edge) and then break the latch, exactly
+    # like PMON cleaning up after a dead process.
+
+    def _recover_latch(self, index: int) -> None:
+        latch = self.latches.latch_for(index)
+        broken = latch.break_held()
+        if broken is not None:
+            self._latch_breaks.inc()
+
+    def remove_with_recovery(
+        self, xid: TransactionId, owner: object, spins: int = 3
+    ) -> bool:
+        """Like :meth:`remove`, but never livelocks: after ``spins``
+        failed attempts the (necessarily dead) holder's latch is broken.
+        """
+        for __ in range(spins):
+            removed = self.remove(xid, owner)
+            if removed is not None:
+                return removed
+        self._recover_latch(self._bucket_index(xid))
+        removed = self.remove(xid, owner)
+        assert removed is not None
+        return removed
+
+    def get_with_recovery(
+        self, xid: TransactionId, owner: object, spins: int = 3
+    ) -> Optional[AnchorNode]:
+        """Like :meth:`get`, but breaks a dead holder's latch instead of
+        reporting a miss forever."""
+        for __ in range(spins):
+            acquired, anchor = self.get(xid, owner)
+            if acquired:
+                return anchor
+        self._recover_latch(self._bucket_index(xid))
+        acquired, anchor = self.get(xid, owner)
+        assert acquired
+        return anchor
 
     def clear(self) -> None:
         """Drop all state (standby instance restart: the journal has no

@@ -24,7 +24,7 @@ from __future__ import annotations
 import operator
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -210,6 +210,28 @@ class ScanResult:
     stats: ScanStats = field(default_factory=ScanStats)
 
 
+@dataclass(slots=True)
+class ScanMorsel:
+    """One independently-runnable slice of a scan (morsel-driven
+    parallelism): an IMCU+reconcile unit, a chunk of row-format blocks,
+    or a stats-only placeholder.  ``run()`` produces a partial
+    :class:`ScanResult`; merging all partials *in plan order* reproduces
+    the serial :meth:`ScanEngine.scan` exactly (rows and stats)."""
+
+    kind: str  # "imcu" | "rowstore" | "stats"
+    description: str
+    run: Callable[[], ScanResult]
+
+
+def merge_partials(partials: list[ScanResult]) -> ScanResult:
+    """Merge morsel partials (in plan order) into one result."""
+    merged = ScanResult()
+    for partial in partials:
+        merged.rows.extend(partial.rows)
+        merged.stats.merge(partial.stats)
+    return merged
+
+
 def _match_any_row(values: tuple) -> bool:
     """Predicate-free scan: every visible row matches."""
     return True
@@ -346,6 +368,99 @@ class ScanEngine:
                 predicates, names, result, on_imcu_matches,
             )
         return result
+
+    # ------------------------------------------------------------------
+    def plan_morsels(
+        self,
+        table: Table,
+        snapshot_scn: SCN,
+        predicates: Optional[list[Predicate]] = None,
+        columns: Optional[list[str]] = None,
+        partitions: Optional[list[str]] = None,
+        on_imcu_matches=None,
+        rowstore_blocks_per_morsel: int = 16,
+    ) -> list[ScanMorsel]:
+        """Split the scan into independently-runnable morsels.
+
+        Mirrors :meth:`scan`'s per-partition walk: one morsel per usable
+        SMU (columnar scan + its reconcile tail), a stats-only morsel
+        counting units whose IMCU snapshot postdates the query snapshot,
+        and chunked morsels over the blocks with no columnar coverage.
+        Safe to execute while redo apply proceeds: the scan filters by
+        ``snapshot_scn`` through Consistent Read, and any invalidation
+        flushed after planning only affects commits beyond the snapshot.
+        """
+        predicates = predicates or []
+        names = columns or [c.name for c in table.schema.live_columns]
+        part_names = (
+            partitions if partitions is not None else list(table.partitions)
+        )
+        morsels: list[ScanMorsel] = []
+        for pname in part_names:
+            partition = table.partition(pname)
+            object_id = partition.object_id
+            segment = partition.segment
+            im_segment = None
+            if self.imcs is not None and self.imcs.is_enabled(object_id):
+                im_segment = self.imcs.segment(object_id)
+            expressions = (
+                im_segment.expressions
+                if im_segment is not None and len(im_segment.expressions)
+                else None
+            )
+            resolver = RowResolver(table.schema, expressions)
+            compiled = _CompiledScan(resolver, predicates, names, table.schema)
+            store = segment._store
+
+            handled_dbas: set[DBA] = set()
+            unusable = 0
+            if im_segment is not None:
+                for smu in im_segment.live_units():
+                    if smu.imcu.snapshot_scn > snapshot_scn:
+                        unusable += 1
+                        continue
+                    handled_dbas.update(smu.imcu.covered_dbas)
+
+                    def run_unit(smu=smu, compiled=compiled, store=store):
+                        partial = ScanResult()
+                        self._scan_unit(
+                            table, store, smu, snapshot_scn, compiled,
+                            partial, on_imcu_matches,
+                        )
+                        return partial
+
+                    morsels.append(ScanMorsel(
+                        "imcu", f"{pname}/imcu@{smu.imcu.snapshot_scn}",
+                        run_unit,
+                    ))
+            if unusable:
+                def run_stats(unusable=unusable):
+                    partial = ScanResult()
+                    partial.stats.imcus_unusable += unusable
+                    return partial
+
+                morsels.append(
+                    ScanMorsel("stats", f"{pname}/unusable", run_stats)
+                )
+
+            leftover = [d for d in segment.dbas if d not in handled_dbas]
+            for i in range(0, len(leftover), rowstore_blocks_per_morsel):
+                chunk = leftover[i:i + rowstore_blocks_per_morsel]
+
+                def run_rowstore(chunk=chunk, compiled=compiled, store=store):
+                    partial = ScanResult()
+                    self._rowstore_scan_dbas(
+                        table, store, chunk, snapshot_scn, compiled,
+                        partial, fallback=False,
+                    )
+                    return partial
+
+                morsels.append(ScanMorsel(
+                    "rowstore",
+                    f"{pname}/rowstore[{i}:{i + len(chunk)}]",
+                    run_rowstore,
+                ))
+        return morsels
 
     # ------------------------------------------------------------------
     def _scan_partition(

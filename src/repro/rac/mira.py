@@ -325,9 +325,9 @@ class MIRACoordinator(Actor):
             for group in groups:
                 cluster.router.route(group)
         for instance in cluster.instances:
-            removed = instance.journal.remove(node.xid, self)
-            while removed is None:
-                removed = instance.journal.remove(node.xid, self)
+            # bounded retry + latch recovery: a holder observed here can
+            # only be a crashed worker (see IMADGJournal.remove_with_recovery)
+            instance.journal.remove_with_recovery(node.xid, self)
         tracer = obs.tracer_of(self._obs)
         if tracer is not None:
             tracer.record_flushed(node.commit_scn)
@@ -340,9 +340,7 @@ class MIRACoordinator(Actor):
         groups: dict[ObjectId, InvalidationGroup] = {}
         gathered_remote = False
         for instance in cluster.instances:
-            acquired, anchor = instance.journal.get(node.xid, self)
-            while not acquired:
-                acquired, anchor = instance.journal.get(node.xid, self)
+            anchor = instance.journal.get_with_recovery(node.xid, self)
             if anchor is None:
                 continue
             if instance.instance_id != node.xid.instance and anchor.n_records:
@@ -399,9 +397,7 @@ class MIRACoordinator(Actor):
             if abort_scn > point:
                 continue
             for instance in cluster.instances:
-                removed = instance.journal.remove(xid, self)
-                while removed is None:
-                    removed = instance.journal.remove(xid, self)
+                instance.journal.remove_with_recovery(xid, self)
             del cluster.aborted_xids[xid]
 
 

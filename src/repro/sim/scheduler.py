@@ -75,11 +75,15 @@ class Scheduler:
         #: Fractional jitter applied to every step cost (0.1 => +/-10%).
         self.jitter = jitter
         self._counter = itertools.count()
-        # Heap entries: (ready_time, tie_break, kind, payload)
-        # kind 0 = actor, kind 1 = one-shot event callback.
-        self._heap: list[tuple[float, int, int, object]] = []
+        # Heap entries: (ready_time, tie_break, kind, payload, generation)
+        # kind 0 = actor, kind 1 = one-shot event callback.  An actor's
+        # entry is live only while its generation matches ``_gen`` --
+        # ``kick``/``add_actor`` bump the generation, superseding any
+        # entry still sitting in the heap (lazily skipped on pop).
+        self._heap: list[tuple[float, int, int, object, int]] = []
         self._actors: list[Actor] = []
         self._removed: set[int] = set()
+        self._gen: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # registration
@@ -90,9 +94,12 @@ class Scheduler:
         Re-adding a previously removed actor resumes it.
         """
         self._removed.discard(id(actor))
-        self._actors.append(actor)
+        if actor not in self._actors:
+            self._actors.append(actor)
+        gen = self._gen.get(id(actor), 0) + 1
+        self._gen[id(actor)] = gen
         when = self.clock.now if start_at is None else start_at
-        heapq.heappush(self._heap, (when, next(self._counter), 0, actor))
+        heapq.heappush(self._heap, (when, next(self._counter), 0, actor, gen))
 
     def remove_actor(self, actor: Actor) -> None:
         """Deregister ``actor``; pending heap entries are lazily skipped."""
@@ -100,11 +107,30 @@ class Scheduler:
             self._actors.remove(actor)
         self._removed.add(id(actor))
 
+    def kick(self, actor: Actor, delay: float = 0.0) -> bool:
+        """Make ``actor`` runnable at now (+``delay``), superseding its
+        pending wakeup (typically an idle-backoff sleep).
+
+        Used by work queues to wake sleeping consumers the moment work
+        arrives -- e.g. query workers when a scan's morsels are enqueued.
+        Returns False (and does nothing) if the actor is not registered.
+        """
+        key = id(actor)
+        if key in self._removed or actor not in self._actors:
+            return False
+        gen = self._gen.get(key, 0) + 1
+        self._gen[key] = gen
+        heapq.heappush(
+            self._heap,
+            (self.clock.now + delay, next(self._counter), 0, actor, gen),
+        )
+        return True
+
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` once at simulated time ``when`` (e.g. message arrival)."""
         if when < self.clock.now:
             when = self.clock.now
-        heapq.heappush(self._heap, (when, next(self._counter), 1, fn))
+        heapq.heappush(self._heap, (when, next(self._counter), 1, fn, 0))
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> None:
         self.call_at(self.clock.now + delay, fn)
@@ -119,9 +145,12 @@ class Scheduler:
     def _dispatch_one(self) -> bool:
         """Pop and run the earliest heap entry.  Returns False if empty."""
         while self._heap:
-            when, __, kind, payload = heapq.heappop(self._heap)
-            if kind == 0 and id(payload) in self._removed:
-                continue
+            when, __, kind, payload, gen = heapq.heappop(self._heap)
+            if kind == 0:
+                if id(payload) in self._removed:
+                    continue
+                if gen != self._gen.get(id(payload)):
+                    continue  # superseded by a kick / re-add
             self.clock.advance_to(when)
             if kind == 1:
                 payload()  # type: ignore[operator]
@@ -137,8 +166,11 @@ class Scheduler:
                 if actor.node is not None:
                     actor.node.charge(cost)
                 next_time = when + max(cost, 1e-9)
+            # re-queue with the generation we popped: if the actor kicked
+            # itself (or was re-added) during the step, this entry is
+            # stale and the newer one wins.
             heapq.heappush(
-                self._heap, (next_time, next(self._counter), 0, actor)
+                self._heap, (next_time, next(self._counter), 0, actor, gen)
             )
             return True
         return False

@@ -1,0 +1,74 @@
+"""Tests for Scheduler.kick: waking a sleeping actor without
+duplicating its heap entry (generation-tagged lazy supersession)."""
+
+from repro.sim import FunctionActor, Scheduler
+
+
+def make_counter_actor(backoff=10.0):
+    calls = []
+
+    def work(s):
+        calls.append(s.now)
+        return None  # always idle: sleeps ``backoff`` between steps
+
+    actor = FunctionActor(work, name="sleepy")
+    actor.idle_backoff = backoff
+    return actor, calls
+
+
+def test_kick_wakes_sleeping_actor_immediately():
+    sched = Scheduler()
+    actor, calls = make_counter_actor(backoff=10.0)
+    sched.add_actor(actor)
+    sched.run_steps(1)
+    assert calls == [0.0]  # next natural wakeup would be t=10
+
+    sched.clock.advance_to(1.0)
+    assert sched.kick(actor)
+    sched.run_until(2.0)
+    assert calls == [0.0, 1.0]  # woke at the kick, not at t=10
+
+
+def test_kick_supersedes_stale_entry_no_double_dispatch():
+    sched = Scheduler()
+    actor, calls = make_counter_actor(backoff=0.5)
+    sched.add_actor(actor)
+    # several kicks at the same instant: only the newest generation runs
+    sched.kick(actor)
+    sched.kick(actor)
+    sched.kick(actor)
+    sched.run_until(0.4)  # before the first idle-backoff wakeup
+    assert calls == [0.0]
+    sched.run_until(1.4)
+    assert calls == [0.0, 0.5, 1.0]  # normal cadence resumes, no duplicates
+
+
+def test_kick_unregistered_actor_returns_false():
+    sched = Scheduler()
+    actor, __ = make_counter_actor()
+    assert not sched.kick(actor)
+    sched.add_actor(actor)
+    sched.remove_actor(actor)
+    assert not sched.kick(actor)
+    sched.run_until(1.0)  # removed actor never dispatches
+
+
+def test_kick_with_delay():
+    sched = Scheduler()
+    actor, calls = make_counter_actor(backoff=100.0)
+    sched.add_actor(actor)
+    sched.run_steps(1)
+    sched.kick(actor, delay=0.25)
+    sched.run_until(1.0)
+    assert calls == [0.0, 0.25]
+
+
+def test_readd_actor_does_not_double_dispatch():
+    sched = Scheduler()
+    actor, calls = make_counter_actor(backoff=0.5)
+    sched.add_actor(actor)
+    sched.run_steps(1)
+    sched.remove_actor(actor)
+    sched.add_actor(actor)  # resume: exactly one live entry
+    sched.run_until(1.2)
+    assert calls == [0.0, 0.0, 0.5, 1.0]
