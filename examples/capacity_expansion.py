@@ -110,7 +110,7 @@ def main() -> None:
     registry.create("product_lookup", Service.PRIMARY_AND_STANDBY)
 
     def database_for(service_name):
-        return primary if registry.route(service_name) == "primary" else standby
+        return primary if registry.route(service_name).is_primary else standby
 
     dashboard_db = database_for("current_month_dashboard")
     analytics_db = database_for("year_analytics")

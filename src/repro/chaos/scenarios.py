@@ -19,7 +19,11 @@ The roster (each maps to a failure mode discussed in the paper):
 * ``rac_chaos``       -- SIRA cluster with interconnect delay,
   duplication and a partition window (III-F);
 * ``failover_mid_flush`` -- role transition begins while a worklink is
-  mid-drain (terminal recovery must finish the flush).
+  mid-drain (terminal recovery must finish the flush);
+* ``standby_loss_mid_wave`` -- a reader-farm member dies mid client
+  wave: the router drains and rebinds its sessions, never routes to the
+  unmounted member, and every queued read-your-writes waiter admits on
+  a qualifying member or expires with its deadline error.
 
 Scenarios import the database layer lazily so that ``repro.chaos`` stays
 importable from inside pipeline modules (they only need ``sites``).
@@ -426,6 +430,303 @@ class FailoverMidFlush(Scenario):
 
 
 # ----------------------------------------------------------------------
+class _LoseStandby(F.Fault):
+    """Dismount one fleet member (``FleetDeployment.lose_standby``)."""
+
+    def __init__(self, member: str) -> None:
+        self.member = member
+
+    def describe(self) -> str:
+        return f"LoseStandby({self.member})"
+
+    def trigger(self, ctx: ChaosContext) -> None:
+        ctx.deployment.lose_standby(self.member)
+        ctx.note("fire", f"{self.describe()} dismounted {self.member}")
+
+
+class _FleetMembersMatchPrimaryCR(Invariant):
+    """Every mounted member's scan at its own published QuerySCN equals
+    a primary consistent read at that SCN (the golden invariant, held
+    per member of the farm)."""
+
+    name = "fleet_members_match_primary_cr"
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+
+    def check(self, ctx: ChaosContext) -> InvariantResult:
+        fleet = ctx.deployment
+        table = fleet.primary.catalog.table(self.table)
+        checked = 0
+        for member in fleet.mounted_members:
+            snapshot = member.published_scn
+            expected = sorted(
+                values
+                for __, values in table.full_scan(
+                    snapshot, fleet.primary.txn_table
+                )
+            )
+            got = sorted(member.standby.query(self.table).rows)
+            if got != expected:
+                return self._result(
+                    False,
+                    f"{member.name} diverges at QuerySCN {snapshot}: "
+                    f"{len(got)} vs {len(expected)} rows",
+                )
+            checked += 1
+        return self._result(
+            True, f"{checked} mounted members identical at their QuerySCNs"
+        )
+
+
+class _FleetQuerySCNMonotonic(Invariant):
+    """Every member's published QuerySCN history (lost members included)
+    is strictly increasing."""
+
+    name = "fleet_queryscn_monotonic"
+
+    def check(self, ctx: ChaosContext) -> InvariantResult:
+        total = 0
+        for member in ctx.deployment.members:
+            history = [
+                scn for __, scn in member.standby.query_scn.history
+            ]
+            for earlier, later in zip(history, history[1:]):
+                if later <= earlier:
+                    return self._result(
+                        False,
+                        f"{member.name} regressed: {earlier} -> {later}",
+                    )
+            total += len(history)
+        return self._result(
+            True, f"{total} publications across members, all increasing"
+        )
+
+
+class _NoUnmountedRouting(Invariant):
+    """No session was ever bound to -- or submitted a query on -- an
+    unmounted member, through the loss and the drain."""
+
+    name = "no_session_routed_to_unmounted_member"
+
+    def check(self, ctx: ChaosContext) -> InvariantResult:
+        router = ctx.extra["router"]
+        if router.routed_unmounted:
+            return self._result(
+                False,
+                f"{router.routed_unmounted} routes landed on an "
+                "unmounted member",
+            )
+        routed = sum(router.decisions["routed"].values())
+        return self._result(
+            True, f"{routed} routing decisions, none to an unmounted member"
+        )
+
+
+class _RYWWaitersResolved(Invariant):
+    """Read-your-writes: every grant carried a published QuerySCN
+    covering the client's floor, no result was computed below a
+    session's floor, and every queued waiter either admitted or expired
+    with its deadline error (none left parked, none granted stale)."""
+
+    name = "ryw_waiters_admit_covering_or_expire"
+
+    def check(self, ctx: ChaosContext) -> InvariantResult:
+        router = ctx.extra["router"]
+        wave = ctx.extra["wave"]
+        stale = [
+            (floor, granted)
+            for floor, granted, __ in router.ryw_grants
+            if granted < floor
+        ]
+        if stale:
+            return self._result(
+                False, f"{len(stale)} grants below the client floor: "
+                f"{stale[:3]}"
+            )
+        if router.ryw_violations:
+            return self._result(
+                False,
+                f"{router.ryw_violations} results computed below a "
+                "session's commitSCN floor",
+            )
+        router.expire_waiters()
+        if router.admission.queue_depth:
+            return self._result(
+                False,
+                f"{router.admission.queue_depth} waiters left parked "
+                "after the wave",
+            )
+        unresolved = [r for r in wave.records if r.done_at is None]
+        if unresolved:
+            return self._result(
+                False, f"{len(unresolved)} wave clients never resolved"
+            )
+        expired = sum(1 for r in wave.records if r.timed_out)
+        return self._result(
+            True,
+            f"{len(router.ryw_grants)} read-your-writes grants all "
+            f"covering; {expired} waiters expired with the deadline error",
+        )
+
+
+class StandbyLossMidWave(Scenario):
+    name = "standby_loss_mid_wave"
+    description = (
+        "a reader-farm member dies mid client-wave: the router drains "
+        "and rebinds its sessions, no session ever routes to the "
+        "unmounted member, and every queued read-your-writes waiter "
+        "admits on a qualifying member or expires with its deadline "
+        "error"
+    )
+    n_standbys = 3
+    #: The member that dies is the routing favourite (lowest name on
+    #: ties), so it has live sessions to drain when it goes.
+    lost_member = "standby-1"
+    n_clients = 120
+
+    def build(self, seed: int):
+        from repro.common.config import ApplyConfig, IMCSConfig, SystemConfig
+        from repro.db import ColumnDef, Service, TableDef
+        from repro.fleet import FleetDeployment, FleetRouter
+
+        config = SystemConfig(
+            imcs=IMCSConfig(imcu_target_rows=64, population_workers=1),
+            apply=ApplyConfig(n_workers=4),
+            seed=seed,
+        )
+        fleet = FleetDeployment.build(
+            n_standbys=self.n_standbys, config=config
+        )
+        fleet.create_table(TableDef(
+            self.table,
+            (
+                ColumnDef.number("id", nullable=False),
+                ColumnDef.number("n1"),
+                ColumnDef.varchar("c1"),
+            ),
+            rows_per_block=8,
+            indexes=("id",),
+        ))
+        txn = fleet.primary.begin()
+        rowids = []
+        for i in range(self.load_rows):
+            rowids.append(fleet.primary.insert(
+                txn, self.table, (i, i * 1.0, f"v{i % 5}")
+            ))
+        fleet.primary.commit(txn)
+        fleet.enable_inmemory(self.table)
+        fleet.catch_up()
+        fleet.start_query_services(n_workers=2)
+        self._router = FleetRouter(
+            fleet, policy="lag_aware", max_sessions=24
+        )
+        self._router.registry.create(
+            "reports", Service.PRIMARY_AND_STANDBY
+        )
+        self._rowids = rowids
+        return fleet
+
+    def plan(self, seed: int) -> FaultPlan:
+        return (
+            FaultPlan()
+            # skew: slow one surviving member's shipments so lag-aware
+            # routing has something to avoid while the wave runs
+            .at(0.02, F.Delay(
+                "redo.ship", by=0.03, count=40,
+                where=lambda s, e, c: c.get("dest") == "standby-3",
+            ))
+            # park the doomed member's query workers past the loss time
+            # (a Stall only skips one 1us dispatch per count, so it can't
+            # hold a scan open; a Delay sleeps the worker itself, and the
+            # count must survive every submit-kick that wakes it early) --
+            # the drain/rebind path must actually run, not just the
+            # routing filter
+            .at(0.08, F.Delay(
+                "query.pool", by=0.2, count=500,
+                where=lambda s, e, c: str(c.get("worker", "")).startswith(
+                    f"{self.lost_member}-query"
+                ),
+            ))
+            .at(0.13, _LoseStandby(self.lost_member))
+        )
+
+    def drive(self, ctx: ChaosContext) -> None:
+        from repro.fleet.wave import SessionWave, WaveConfig
+
+        fleet = ctx.deployment
+        wave = SessionWave(
+            fleet, self._router,
+            WaveConfig(
+                n_clients=self.n_clients,
+                arrival_rate=400.0,
+                writer_fraction=0.4,
+                connect_timeout=0.5,
+                service_name="reports",
+                table_name=self.table,
+                seed=20_000,
+            ),
+            rowids=self._rowids,
+        )
+        fleet.sched.add_actor(wave)
+        if not fleet.sched.run_until_condition(
+            lambda: wave.done, max_time=120.0
+        ):
+            ctx.note("note", "wave did not finish within the time budget")
+        fleet.sched.remove_actor(wave)
+        ctx.extra["wave"] = wave
+        ctx.extra["router"] = self._router
+        ctx.note(
+            "note",
+            f"wave finished: {len(wave.finished_records())} of "
+            f"{self.n_clients} clients resolved",
+        )
+
+    def finish(self, ctx: ChaosContext) -> None:
+        ctx.deployment.catch_up(timeout=900.0)
+        self._router.expire_waiters()
+
+    def invariants(self, ctx: ChaosContext) -> list[Invariant]:
+        return [
+            _FleetMembersMatchPrimaryCR(self.table),
+            _FleetQuerySCNMonotonic(),
+            _NoUnmountedRouting(),
+            _RYWWaitersResolved(),
+        ]
+
+    def stats(self, ctx: ChaosContext) -> dict[str, int]:
+        fleet = ctx.deployment
+        router = self._router
+        wave = ctx.extra["wave"]
+        stats = {
+            "wave_clients": len(wave.records),
+            "wave_completed": len(wave.finished_records()),
+            "wave_timed_out": sum(1 for r in wave.records if r.timed_out),
+            "wave_lost": sum(1 for r in wave.records if r.lost),
+            "wave_resubmits": sum(r.resubmits for r in wave.records),
+            "router_routed": sum(router.decisions["routed"].values()),
+            "router_queued": sum(router.decisions["queued"].values()),
+            "router_failed_over": sum(
+                router.decisions["failed_over"].values()
+            ),
+            "router_expired": sum(router.decisions["expired"].values()),
+            "router_drained": sum(router.decisions["drained"].values()),
+            "router_ryw_grants": len(router.ryw_grants),
+            "router_routed_unmounted": router.routed_unmounted,
+            "mounted_members": len(fleet.mounted_members),
+            "publications": sum(
+                len(m.standby.query_scn.history) for m in fleet.members
+            ),
+            "gaps_resolved": sum(
+                m.standby.receiver.gaps_resolved for m in fleet.members
+            ),
+        }
+        for target in sorted(router.routed_by_target):
+            stats[f"routed_to_{target}"] = router.routed_by_target[target]
+        return stats
+
+
+# ----------------------------------------------------------------------
 SCENARIOS: dict[str, type[Scenario]] = {
     cls.name: cls
     for cls in (
@@ -438,6 +739,7 @@ SCENARIOS: dict[str, type[Scenario]] = {
         RestartStorm,
         RACChaos,
         FailoverMidFlush,
+        StandbyLossMidWave,
     )
 }
 

@@ -19,7 +19,7 @@ from repro.db.catalog import Catalog
 from repro.db.primary import PrimaryDatabase, PrimaryInstance
 from repro.db.standby import StandbyDatabase
 from repro.db.deployment import Deployment, InMemoryService
-from repro.db.services import Service, ServiceRegistry
+from repro.db.services import Role, RouteTarget, Service, ServiceRegistry
 from repro.db.session import ReadOnlyError, Session, SessionPool
 from repro.db.failover import activate, failover, terminal_recovery
 from repro.db.sql import parse_query, ParsedQuery
@@ -34,6 +34,8 @@ __all__ = [
     "StandbyDatabase",
     "Deployment",
     "InMemoryService",
+    "Role",
+    "RouteTarget",
     "Service",
     "ServiceRegistry",
     "ReadOnlyError",

@@ -15,7 +15,7 @@ from typing import Callable, Optional
 
 from repro.common.errors import InvalidStateError
 from repro.db.deployment import Deployment
-from repro.db.services import ServiceRegistry
+from repro.db.services import RouteTarget, ServiceRegistry
 from repro.db.sql import parse_query
 from repro.query.admission import (
     AdmissionController,
@@ -41,7 +41,7 @@ class Session:
     ) -> None:
         self.deployment = deployment
         self.service_name = service_name
-        self.role = registry.route(service_name, prefer_standby)
+        self.target: RouteTarget = registry.route(service_name, prefer_standby)
         self._txn = None
         self._on_close = on_close
         self.closed = False
@@ -49,14 +49,19 @@ class Session:
 
     # ------------------------------------------------------------------
     @property
+    def role(self) -> str:
+        """The routed role as a string (``"primary"``/``"standby"``)."""
+        return self.target.role.value
+
+    @property
     def database(self):
-        if self.role == "primary":
+        if self.target.is_primary:
             return self.deployment.primary
         return self.deployment.standby
 
     @property
     def is_read_only(self) -> bool:
-        return self.role == "standby"
+        return self.target.is_standby
 
     # ------------------------------------------------------------------
     # queries

@@ -157,7 +157,12 @@ class StandbyDatabase(InMemoryFeaturesMixin):
     # ------------------------------------------------------------------
     # wiring helpers
     # ------------------------------------------------------------------
-    def attach_actors(self, sched: Scheduler) -> None:
+    def attach_actors(
+        self, sched: Scheduler, name_prefix: str = "standby"
+    ) -> None:
+        """Schedule this standby's pipeline.  ``name_prefix`` namespaces
+        the population workers' actor names so a fleet of standbys can
+        share one scheduler (failover removes them by this prefix)."""
         sched.add_actor(self.merger)
         sched.add_actor(self.coordinator)
         for worker in self.workers:
@@ -166,7 +171,7 @@ class StandbyDatabase(InMemoryFeaturesMixin):
             sched.add_actor(
                 PopulationWorker(
                     self.population,
-                    name=f"standby-popworker-{i}",
+                    name=f"{name_prefix}-popworker-{i}",
                     node=self.node,
                     sweep=(i == 0),
                 )

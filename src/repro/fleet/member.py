@@ -1,0 +1,69 @@
+"""One member of the standby reader farm.
+
+A :class:`StandbyMember` wraps a full :class:`StandbyDatabase` pipeline
+with the serving-side state the router needs: a mounted flag, the active
+routed-session count (load), and the member's published-QuerySCN lag
+gauge (the paper's Fig. 11, per member).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import obs
+from repro.common.scn import SCN
+from repro.db.standby import StandbyDatabase
+
+
+class StandbyMember:
+    """A named standby deployment inside a fleet."""
+
+    def __init__(self, name: str, standby: StandbyDatabase) -> None:
+        self.name = name
+        self.standby = standby
+        #: False once the member is lost (``fleet.lose_standby``): its
+        #: apply pipeline is dismounted and no session may route here.
+        self.mounted = True
+        #: Attached by ``fleet.start_query_services``.
+        self.query_service = None
+        self.active_sessions = 0
+        self._active_gauge = obs.gauge(
+            "fleet.member.active_sessions", member=name
+        )
+        self._lag_gauge = obs.gauge("fleet.member.lag_scns", member=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def published_scn(self) -> SCN:
+        """The member's published QuerySCN — the consistency point every
+        query on this member runs at."""
+        return self.standby.query_scn.value
+
+    def set_lag(self, lag_scns: int) -> None:
+        self._lag_gauge.set(lag_scns)
+
+    # -- session accounting (router-side load signal) -------------------
+    def session_opened(self) -> None:
+        self.active_sessions += 1
+        self._active_gauge.set(self.active_sessions)
+
+    def session_closed(self) -> None:
+        self.active_sessions = max(0, self.active_sessions - 1)
+        self._active_gauge.set(self.active_sessions)
+
+    # ------------------------------------------------------------------
+    def query(self, table_name, predicates=None, columns=None,
+              partitions=None):
+        """Direct (synchronous) scan on this member, bypassing the
+        query service — test/diagnostic convenience."""
+        return self.standby.query(table_name, predicates, columns, partitions)
+
+    def __repr__(self) -> str:
+        state = "mounted" if self.mounted else "lost"
+        return (
+            f"StandbyMember({self.name!r}, {state}, "
+            f"scn={self.published_scn}, sessions={self.active_sessions})"
+        )
+
+
+__all__ = ["StandbyMember"]

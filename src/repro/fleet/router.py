@@ -1,0 +1,613 @@
+"""FleetRouter: lag- and load-aware session routing over a reader farm.
+
+The router fronts a :class:`~repro.fleet.deployment.FleetDeployment` the
+way Oracle's Services Infrastructure fronts an ADG reader farm: clients
+connect through a service name and the router picks the database — and,
+for standby-routed services, the *member* — the session is pinned to,
+as a typed :class:`~repro.db.services.RouteTarget`.
+
+Routing policy (``lag_aware``, the default) scores each qualifying
+member by ``published-QuerySCN lag + load_weight * active_sessions`` and
+picks the minimum (ties break by member name, so decisions are
+deterministic).  ``round_robin`` ignores both signals — it exists as the
+baseline the reader-farm benchmark gates against.
+
+**Read-your-writes.**  A client carrying a last-seen commitSCN ``C``
+(``min_scn=C``) is only ever routed to a member whose published QuerySCN
+already covers ``C`` — queries on that member run at its QuerySCN, so
+the session can never observe a database state older than its own
+writes.  If no member qualifies, :meth:`connect_queued` parks the
+request in the :class:`~repro.query.admission.AdmissionController` wait
+queue with an eligibility predicate; every QuerySCN publication pumps
+the queue, so the waiter admits the moment a member catches up (or
+expires with its deadline error — never with a stale grant).
+
+**Standby loss.**  The router registers on the fleet's
+``on_standby_loss`` hook: when a member dismounts, its sessions are
+drained and rebound to another qualifying member, failed over to the
+primary (services that allow it), or marked lost.  The
+``routed_unmounted`` counter — incremented if a session is ever bound
+to or submits on an unmounted member — is the chaos invariant and must
+stay zero.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro import obs
+from repro.common.errors import InvalidStateError
+from repro.common.scn import SCN
+from repro.fleet.deployment import FleetDeployment
+from repro.fleet.member import StandbyMember
+from repro.query.admission import (
+    AdmissionController,
+    AdmissionTimeout,
+    PoolExhaustedError,
+)
+from repro.query.service import QueryHandle
+from repro.db.services import (
+    PRIMARY_TARGET,
+    Role,
+    RouteTarget,
+    Service,
+    ServiceRegistry,
+)
+
+POLICIES = ("lag_aware", "round_robin")
+
+
+class NoQualifyingStandbyError(InvalidStateError):
+    """Immediate standby-only connect with a read-your-writes floor no
+    mounted member covers (queued connects wait instead)."""
+
+
+class FleetSession:
+    """One routed client connection against the fleet.
+
+    Standby-bound sessions submit reads through their member's query
+    service; primary-bound sessions may also run transactions, and each
+    commit raises the session's ``last_seen_scn`` (the floor a
+    subsequent read-your-writes connect would carry).
+    """
+
+    def __init__(
+        self,
+        router: "FleetRouter",
+        service_name: str,
+        target: RouteTarget,
+        member: Optional[StandbyMember],
+        min_scn: SCN = 0,
+        affinity_key=None,
+    ) -> None:
+        self.router = router
+        self.service_name = service_name
+        self.target = target
+        self.member = member
+        self.min_scn = min_scn
+        self.affinity_key = affinity_key
+        #: Bumped on every rebind (standby loss): drivers re-submit
+        #: queries whose handle predates the current generation.
+        self.generation = 0
+        self.closed = False
+        #: True when standby loss left no legal target for this session.
+        self.lost = False
+        self.queries_run = 0
+        self.last_seen_scn = min_scn
+        self._txn = None
+
+    # ------------------------------------------------------------------
+    @property
+    def role(self) -> str:
+        return self.target.role.value
+
+    @property
+    def is_read_only(self) -> bool:
+        return self.target.is_standby
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        table_name: str,
+        predicates=None,
+        columns=None,
+        partitions=None,
+    ) -> QueryHandle:
+        """Run a scan on the session's routed database.  Returns a
+        :class:`QueryHandle`; standby-bound sessions resolve it through
+        the member's worker pool, primary-bound ones immediately."""
+        if self.closed:
+            raise InvalidStateError("session is closed")
+        self.queries_run += 1
+        member = self.member
+        if member is not None:
+            self.router._audit_submit(self, member)
+            if member.query_service is not None:
+                handle = member.query_service.submit(
+                    table_name, predicates, columns, partitions
+                )
+            else:
+                result = member.standby.query(
+                    table_name, predicates, columns, partitions
+                )
+                handle = QueryHandle(
+                    None, member.published_scn, cached=False,
+                    submit_time=self.router.fleet.sched.now, result=result,
+                )
+        else:
+            primary = self.router.fleet.primary
+            result = primary.query(table_name, predicates, columns, partitions)
+            handle = QueryHandle(
+                None, primary.clock.current, cached=False,
+                submit_time=self.router.fleet.sched.now, result=result,
+            )
+        self.router._audit_result(self, handle.scn)
+        return handle
+
+    # ------------------------------------------------------------------
+    # transactions (primary-routed sessions only)
+    # ------------------------------------------------------------------
+    def _require_writable(self) -> None:
+        if self.is_read_only:
+            raise InvalidStateError(
+                f"service {self.service_name!r} routed this session to "
+                f"{self.target.describe()}: the database is open read-only"
+            )
+
+    def _active_txn(self):
+        primary = self.router.fleet.primary
+        if self._txn is None or not self._txn.is_active:
+            self._txn = primary.begin()
+        return self._txn
+
+    def insert(self, table_name: str, values: tuple, partition=None):
+        self._require_writable()
+        return self.router.fleet.primary.insert(
+            self._active_txn(), table_name, values, partition
+        )
+
+    def update(self, table_name: str, rowid, changes: dict) -> None:
+        self._require_writable()
+        self.router.fleet.primary.update(
+            self._active_txn(), table_name, rowid, changes
+        )
+
+    def delete(self, table_name: str, rowid) -> None:
+        self._require_writable()
+        self.router.fleet.primary.delete(
+            self._active_txn(), table_name, rowid
+        )
+
+    def commit(self) -> Optional[SCN]:
+        self._require_writable()
+        if self._txn is None or not self._txn.is_active:
+            return None
+        scn = self.router.fleet.primary.commit(self._txn)
+        self._txn = None
+        self.last_seen_scn = max(self.last_seen_scn, scn)
+        return scn
+
+    def rollback(self) -> None:
+        self._require_writable()
+        if self._txn is not None and self._txn.is_active:
+            self.router.fleet.primary.rollback(self._txn)
+        self._txn = None
+
+    # ------------------------------------------------------------------
+    # rebinding (standby loss)
+    # ------------------------------------------------------------------
+    def _rebind(self, new_member: StandbyMember) -> None:
+        if self.member is not None:
+            self.member.session_closed()
+        self.member = new_member
+        new_member.session_opened()
+        self.target = RouteTarget(Role.STANDBY, new_member.name)
+        self.generation += 1
+
+    def _rebind_primary(self) -> None:
+        if self.member is not None:
+            self.member.session_closed()
+        self.member = None
+        self.target = PRIMARY_TARGET
+        self.generation += 1
+
+    def _mark_lost(self) -> None:
+        self.lost = True
+        self.generation += 1
+        self.close()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self.closed:
+            return
+        if self._txn is not None and self._txn.is_active:
+            self.router.fleet.primary.rollback(self._txn)
+            self._txn = None
+        self.closed = True
+        self.router._session_closed(self)
+
+    def __enter__(self) -> "FleetSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetSession(service={self.service_name!r}, "
+            f"target={self.target.describe()})"
+        )
+
+
+class PendingFleetSession:
+    """A queued routed connect: resolves when a slot frees up *and* (for
+    read-your-writes) a qualifying member exists."""
+
+    __slots__ = (
+        "service_name", "session", "timed_out", "granted_at", "_waiter"
+    )
+
+    def __init__(self, service_name: str) -> None:
+        self.service_name = service_name
+        self.session: Optional[FleetSession] = None
+        self.timed_out = False
+        self.granted_at: Optional[float] = None
+        self._waiter = None
+
+    @property
+    def ready(self) -> bool:
+        return self.session is not None
+
+    def get(self) -> FleetSession:
+        if self.timed_out:
+            raise AdmissionTimeout(
+                f"queued connect to {self.service_name!r} timed out"
+            )
+        if self.session is None:
+            raise InvalidStateError("queued connect not granted yet")
+        return self.session
+
+
+class FleetRouter:
+    """Routes service connections across a fleet of standby members."""
+
+    def __init__(
+        self,
+        fleet: FleetDeployment,
+        policy: str = "lag_aware",
+        max_sessions: Optional[int] = None,
+        per_service: Optional[dict[str, int]] = None,
+        queue_limit: Optional[int] = None,
+        load_weight: float = 16.0,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; choose from {POLICIES}"
+            )
+        self.fleet = fleet
+        self.policy = policy
+        #: How many SCNs of lag one active session is "worth" in the
+        #: lag_aware score -- the load-balancing half of the policy.
+        self.load_weight = load_weight
+        self.registry = ServiceRegistry(
+            standby_available=lambda: fleet.standby_mounted
+        )
+        self.admission = AdmissionController(
+            limit=max_sessions,
+            per_service=per_service,
+            queue_limit=queue_limit,
+            clock=lambda: fleet.sched.now,
+        )
+        self._sessions: list[FleetSession] = []
+        self._affinity: dict[object, str] = {}
+        self._rr = itertools.count()
+        #: Plain decision tallies for reports: family -> service -> count.
+        self.decisions: dict[str, dict[str, int]] = {
+            family: {}
+            for family in ("routed", "queued", "failed_over", "expired",
+                           "drained")
+        }
+        #: Where sessions landed: target description -> count.
+        self.routed_by_target: dict[str, int] = {}
+        #: Read-your-writes audit: (min_scn, granted_scn, target) per
+        #: connect that carried a floor.
+        self.ryw_grants: list[tuple[SCN, SCN, str]] = []
+        #: Invariant counters -- both must stay zero, always.
+        self.ryw_violations = 0
+        self.routed_unmounted = 0
+        self._obs_counters: dict[tuple, object] = {}
+        fleet.on_standby_loss.append(self._handle_standby_loss)
+        for member in fleet.members:
+            member.standby.query_scn.subscribe(
+                self._make_publish_listener(member)
+            )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _count(self, family: str, service_name: str, target=None) -> None:
+        per_service = self.decisions[family]
+        per_service[service_name] = per_service.get(service_name, 0) + 1
+        labels = {"service": service_name}
+        if target is not None:
+            labels["target"] = target
+            self.routed_by_target[target] = (
+                self.routed_by_target.get(target, 0) + 1
+            )
+        key = (family, service_name, target)
+        counter = self._obs_counters.get(key)
+        if counter is None:
+            counter = obs.counter(f"fleet.router.{family}", **labels)
+            self._obs_counters[key] = counter
+        counter.inc()
+
+    def _make_publish_listener(
+        self, member: StandbyMember
+    ) -> Callable[[SCN], None]:
+        def on_publish(scn: SCN) -> None:
+            member.set_lag(self.fleet.member_lag(member))
+            if self.admission.queue_depth:
+                # a read-your-writes waiter may just have become eligible
+                self.admission.pump()
+
+        return on_publish
+
+    def _audit_submit(self, session: FleetSession,
+                      member: StandbyMember) -> None:
+        if not member.mounted:
+            self.routed_unmounted += 1
+
+    def _audit_result(self, session: FleetSession, scn: SCN) -> None:
+        if scn < session.min_scn:
+            self.ryw_violations += 1
+
+    # ------------------------------------------------------------------
+    # member selection
+    # ------------------------------------------------------------------
+    def _candidates(self, min_scn: SCN) -> list[StandbyMember]:
+        return [
+            m for m in self.fleet.members
+            if m.mounted and m.published_scn >= min_scn
+        ]
+
+    def select_member(
+        self, min_scn: SCN = 0, affinity_key=None
+    ) -> Optional[StandbyMember]:
+        """Pick the member a standby-routed session lands on, or None if
+        no mounted member covers ``min_scn``."""
+        candidates = self._candidates(min_scn)
+        if not candidates:
+            return None
+        chosen: Optional[StandbyMember] = None
+        if affinity_key is not None:
+            bound = self._affinity.get(affinity_key)
+            if bound is not None:
+                for member in candidates:
+                    if member.name == bound:
+                        chosen = member
+                        break
+        if chosen is None:
+            if self.policy == "round_robin":
+                members = self.fleet.members
+                for __ in range(len(members)):
+                    member = members[next(self._rr) % len(members)]
+                    if member in candidates:
+                        chosen = member
+                        break
+                else:
+                    chosen = candidates[0]
+            else:
+                chosen = min(
+                    candidates,
+                    key=lambda m: (
+                        self.fleet.member_lag(m)
+                        + self.load_weight * m.active_sessions,
+                        m.name,
+                    ),
+                )
+        if affinity_key is not None:
+            self._affinity[affinity_key] = chosen.name
+        return chosen
+
+    # ------------------------------------------------------------------
+    # connects
+    # ------------------------------------------------------------------
+    def _wants_standby(self, service: Service, prefer_standby: bool) -> bool:
+        return service is Service.STANDBY_ONLY or (
+            service is Service.PRIMARY_AND_STANDBY and prefer_standby
+        )
+
+    def _resolve(
+        self,
+        service_name: str,
+        min_scn: SCN,
+        affinity_key,
+        prefer_standby: bool,
+    ) -> tuple[RouteTarget, Optional[StandbyMember]]:
+        """Pick the target for a connect that is being granted *now*."""
+        target = self.registry.route(service_name, prefer_standby)
+        if not target.is_standby:
+            return target, None
+        member = self.select_member(min_scn, affinity_key)
+        if member is not None:
+            return RouteTarget(Role.STANDBY, member.name), member
+        service = self.registry.get(service_name).service
+        if service is Service.PRIMARY_AND_STANDBY:
+            # no member covers the floor: fail the read over to the
+            # primary, which by construction covers every commitSCN
+            self._count("failed_over", service_name)
+            return PRIMARY_TARGET, None
+        raise NoQualifyingStandbyError(
+            f"service {service_name!r}: no mounted standby has published "
+            f"QuerySCN >= {min_scn}"
+        )
+
+    def _make_session(
+        self,
+        service_name: str,
+        target: RouteTarget,
+        member: Optional[StandbyMember],
+        min_scn: SCN,
+        affinity_key,
+    ) -> FleetSession:
+        session = FleetSession(
+            self, service_name, target, member, min_scn, affinity_key
+        )
+        if member is not None:
+            if not member.mounted:
+                self.routed_unmounted += 1
+            member.session_opened()
+        self._sessions.append(session)
+        self._count("routed", service_name, target=target.describe())
+        if min_scn > 0:
+            granted_scn = (
+                member.published_scn if member is not None
+                else self.fleet.primary.clock.current
+            )
+            self.ryw_grants.append((min_scn, granted_scn, target.describe()))
+            if granted_scn < min_scn:
+                self.ryw_violations += 1
+        return session
+
+    def connect(
+        self,
+        service_name: str,
+        min_scn: SCN = 0,
+        affinity_key=None,
+        prefer_standby: bool = True,
+    ) -> FleetSession:
+        """Admit immediately or raise (:class:`PoolExhaustedError` on
+        capacity, :class:`NoQualifyingStandbyError` on an unsatisfiable
+        read-your-writes floor for a standby-only service)."""
+        self.registry.get(service_name)  # unknown service: fail first
+        target, member = self._resolve(
+            service_name, min_scn, affinity_key, prefer_standby
+        )
+        if not self.admission.try_admit(service_name):
+            raise PoolExhaustedError(
+                f"fleet router at capacity for service {service_name!r}"
+            )
+        try:
+            return self._make_session(
+                service_name, target, member, min_scn, affinity_key
+            )
+        except BaseException:
+            self.admission.release(service_name)
+            raise
+
+    def connect_queued(
+        self,
+        service_name: str,
+        min_scn: SCN = 0,
+        affinity_key=None,
+        prefer_standby: bool = True,
+        timeout: Optional[float] = None,
+    ) -> PendingFleetSession:
+        """Queue for a slot *and* (for standby-routed read-your-writes)
+        a qualifying member; grants as soon as both hold."""
+        definition = self.registry.get(service_name)
+        service = definition.service
+        wants_standby = self._wants_standby(service, prefer_standby)
+        pending = PendingFleetSession(service_name)
+
+        def eligible() -> bool:
+            if not wants_standby:
+                return True
+            if self._candidates(min_scn):
+                return True
+            # every member is gone: PRIMARY_AND_STANDBY may fail over at
+            # grant time; STANDBY_ONLY must keep waiting (until expiry)
+            return (
+                not self.fleet.standby_mounted
+                and service is Service.PRIMARY_AND_STANDBY
+            )
+
+        def grant() -> None:
+            try:
+                target, member = self._resolve(
+                    service_name, min_scn, affinity_key, prefer_standby
+                )
+                pending.session = self._make_session(
+                    service_name, target, member, min_scn, affinity_key
+                )
+                pending.granted_at = self.fleet.sched.now
+            except BaseException:
+                self.admission.release(service_name)
+                raise
+
+        def expired() -> None:
+            pending.timed_out = True
+            self._count("expired", service_name)
+
+        pending._waiter = self.admission.enqueue(
+            service_name, grant, timeout=timeout, on_timeout=expired,
+            eligible=eligible,
+        )
+        if not pending.ready:
+            self._count("queued", service_name)
+        return pending
+
+    def expire_waiters(self) -> int:
+        return self.admission.expire_waiters()
+
+    # ------------------------------------------------------------------
+    # standby loss: drain + redistribute
+    # ------------------------------------------------------------------
+    def _handle_standby_loss(self, member: StandbyMember) -> None:
+        for session in list(self._sessions):
+            if session.closed or session.member is not member:
+                continue
+            self._count("drained", session.service_name)
+            new_member = self.select_member(
+                session.min_scn, session.affinity_key
+            )
+            if new_member is not None:
+                session._rebind(new_member)
+                self._count(
+                    "routed", session.service_name,
+                    target=session.target.describe(),
+                )
+            elif self.registry.get(
+                session.service_name
+            ).service.runs_on_primary:
+                session._rebind_primary()
+                self._count("failed_over", session.service_name)
+                self._count(
+                    "routed", session.service_name,
+                    target=session.target.describe(),
+                )
+            else:
+                session._mark_lost()
+        self._affinity = {
+            key: name for key, name in self._affinity.items()
+            if name != member.name
+        }
+        # waiters pinned on the lost member's catch-up may now qualify
+        # elsewhere (or fail over); re-drain
+        self.admission.pump()
+
+    # ------------------------------------------------------------------
+    def _session_closed(self, session: FleetSession) -> None:
+        if session.member is not None:
+            session.member.session_closed()
+        if session in self._sessions:
+            self._sessions.remove(session)
+        self.admission.release(session.service_name)
+
+    @property
+    def open_sessions(self) -> list[FleetSession]:
+        return list(self._sessions)
+
+
+__all__ = [
+    "POLICIES",
+    "FleetRouter",
+    "FleetSession",
+    "NoQualifyingStandbyError",
+    "PendingFleetSession",
+]

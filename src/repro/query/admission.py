@@ -32,7 +32,15 @@ class AdmissionTimeout(InvalidStateError):
 
 @dataclass(slots=True)
 class Waiter:
-    """One parked connection request."""
+    """One parked connection request.
+
+    ``eligible`` is an optional extra admissibility predicate beyond slot
+    availability — e.g. read-your-writes: "a standby whose published
+    QuerySCN covers my commitSCN exists".  A waiter whose predicate is
+    currently false is skipped by the drain without losing its queue
+    position or consuming a slot; callers re-drain (:meth:`pump`) when
+    the external condition may have changed (a QuerySCN publication).
+    """
 
     service_name: str
     grant: Callable[[], None]
@@ -40,9 +48,13 @@ class Waiter:
     deadline: Optional[float] = None
     on_timeout: Optional[Callable[[], None]] = None
     cancelled: bool = field(default=False)
+    eligible: Optional[Callable[[], bool]] = None
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
+
+    def ready(self) -> bool:
+        return self.eligible is None or bool(self.eligible())
 
 
 class AdmissionController:
@@ -94,9 +106,14 @@ class AdmissionController:
     # ------------------------------------------------------------------
     def try_admit(self, service_name: str) -> bool:
         """Admit immediately, or refuse (no queueing)."""
-        # a fair pool never lets a newcomer jump parked admissible waiters
+        # a fair pool never lets a newcomer jump parked admissible
+        # waiters; waiters whose eligibility predicate is false are not
+        # admissible now, so a newcomer may take the slot they can't use
         self.expire_waiters()
-        if self._waiters or not self._admissible(service_name):
+        blocked = any(
+            w.ready() for w in self._waiters if not w.cancelled
+        )
+        if blocked or not self._admissible(service_name):
             self._rejected.inc()
             return False
         self._grant_slot(service_name, waited=0.0)
@@ -108,6 +125,7 @@ class AdmissionController:
         grant: Callable[[], None],
         timeout: Optional[float] = None,
         on_timeout: Optional[Callable[[], None]] = None,
+        eligible: Optional[Callable[[], bool]] = None,
     ) -> Waiter:
         """Park a request; ``grant`` fires (synchronously) when a slot
         frees up.  May grant immediately if a slot is available now."""
@@ -115,7 +133,7 @@ class AdmissionController:
         waiter = Waiter(
             service_name, grant, enqueued_at=now,
             deadline=None if timeout is None else now + timeout,
-            on_timeout=on_timeout,
+            on_timeout=on_timeout, eligible=eligible,
         )
         if (
             self.queue_limit is not None
@@ -177,19 +195,28 @@ class AdmissionController:
         self._active_gauge.set(self._active)
         self._wait_seconds.observe(waited)
 
+    def pump(self) -> None:
+        """Re-run the drain because an *external* eligibility condition
+        may have changed (e.g. a standby published a newer QuerySCN and a
+        read-your-writes waiter now qualifies).  Safe to call any time.
+        """
+        self._drain()
+
     def _drain(self) -> None:
         """Grant parked waiters in FIFO order while slots allow.
 
         A waiter whose *service* is capped does not block a later waiter
         on a different service (no head-of-line blocking across
-        services); FIFO order is preserved within a service.
+        services); FIFO order is preserved within a service.  A waiter
+        whose eligibility predicate is false is likewise skipped without
+        a grant — it keeps its position for the next drain/pump.
         """
         self.expire_waiters()
         now = self._clock()
         remaining: deque[Waiter] = deque()
         while self._waiters:
             waiter = self._waiters.popleft()
-            if self._admissible(waiter.service_name):
+            if self._admissible(waiter.service_name) and waiter.ready():
                 self._grant_slot(
                     waiter.service_name, waited=now - waiter.enqueued_at
                 )

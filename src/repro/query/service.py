@@ -68,12 +68,14 @@ class QueryService:
         cache_capacity: int = 256,
         enable_cache: bool = True,
         node=None,
+        name: str = "query",
     ) -> None:
         self.standby = standby
         self.sched = sched
         self.pool = QueryWorkerPool(
             sched, n_workers,
             node=node if node is not None else standby.node,
+            name=name,
         )
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_capacity) if enable_cache else None

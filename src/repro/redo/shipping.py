@@ -248,3 +248,101 @@ class LogShipper(Actor):
             latency, lambda: receiver.deliver(records, position)
         )
         return self.COST_PER_RECORD * len(records)
+
+
+class FanOutLogShipper(Actor):
+    """Tails one redo thread and ships every batch to N standby members.
+
+    The reader-farm transport: one reader position shared across all
+    destinations, so every member sees identical batch boundaries, but
+    delivery is per-destination -- a chaos fault can drop or delay one
+    member's copy (the chaos context carries ``dest=<member name>``)
+    and only that member FAL-heals the resulting gap.  Removing a
+    destination (standby loss) simply stops shipping to it; the others
+    are untouched.
+    """
+
+    COST_PER_RECORD = LogShipper.COST_PER_RECORD
+
+    records_dropped = obs.view("_records_dropped")
+
+    def __init__(
+        self,
+        log: RedoLog,
+        destinations: list[tuple[str, RedoReceiver]],
+        latency: float = 0.002,
+        batch: int = 256,
+        node: Optional[CpuNode] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self._reader: LogReader = log.reader()
+        self.thread = log.thread
+        self._destinations: dict[str, RedoReceiver] = {}
+        self.latency = latency
+        self.batch = batch
+        self.node = node
+        self.name = name or f"fanout-shipper-t{log.thread}"
+        self._obs = obs.current()
+        self._records_dropped = obs.counter(
+            "redo.shipper.records_dropped", thread=log.thread, fanout=1
+        )
+        self._chaos = sites.declare("redo.ship", owner=self)
+        for dest_name, receiver in destinations:
+            self.add_destination(dest_name, receiver)
+
+    @property
+    def shipped_through(self) -> int:
+        return self._reader.position
+
+    @property
+    def destinations(self) -> list[str]:
+        return list(self._destinations)
+
+    def add_destination(self, name: str, receiver: RedoReceiver) -> None:
+        if name in self._destinations:
+            raise ValueError(f"duplicate fan-out destination {name!r}")
+        receiver.register_thread(self.thread)
+        self._destinations[name] = receiver
+
+    def remove_destination(self, name: str) -> None:
+        """Stop shipping to a member (standby loss/dismount)."""
+        self._destinations.pop(name, None)
+
+    def step(self, sched: Scheduler) -> Optional[float]:
+        position = self._reader.position
+        records = self._reader.take(self.batch)
+        if not records:
+            return None
+        tracer = obs.tracer_of(self._obs)
+        if tracer is not None:
+            for record in records:
+                tracer.record_shipped(record)
+        chaos = self._chaos
+        for dest, receiver in self._destinations.items():
+            latency = self.latency
+            if chaos.injectors is not None:
+                decision = chaos.consult(
+                    "ship",
+                    thread=records[0].thread,
+                    position=position,
+                    count=len(records),
+                    dest=dest,
+                )
+                if decision.action is sites.Action.DROP:
+                    # this member's copy is lost in transit; its receiver
+                    # will detect the gap and FAL-heal it
+                    self._records_dropped.inc(len(records))
+                    continue
+                if decision.action is sites.Action.DELAY:
+                    latency += decision.delay
+                elif decision.action is sites.Action.DUPLICATE:
+                    sched.call_after(
+                        latency + self.latency,
+                        lambda r=receiver: r.deliver(records, position),
+                    )
+            sched.call_after(
+                latency, lambda r=receiver: r.deliver(records, position)
+            )
+        return self.COST_PER_RECORD * len(records) * max(
+            1, len(self._destinations)
+        )

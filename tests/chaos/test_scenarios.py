@@ -24,6 +24,7 @@ class TestRoster:
             "restart_storm",
             "rac_chaos",
             "failover_mid_flush",
+            "standby_loss_mid_wave",
         } <= set(SCENARIOS)
 
     def test_unknown_scenario_raises_with_roster(self):
@@ -76,3 +77,17 @@ class TestScenarioBehaviour:
         assert report.passed, report.to_text()
         names = [r.name for r in report.invariants]
         assert "failover_preserves_committed_data" in names
+
+    def test_standby_loss_mid_wave_drains_and_keeps_ryw(self):
+        report = run_scenario(get_scenario("standby_loss_mid_wave"), seed=7)
+        assert report.passed, report.to_text()
+        # the loss really exercised the drain/rebind path
+        assert report.stats["router_drained"] >= 1
+        assert report.stats["wave_resubmits"] >= 1
+        # every client resolved; nobody touched the dead member
+        assert report.stats["wave_completed"] == report.stats["wave_clients"]
+        assert report.stats["router_routed_unmounted"] == 0
+        assert report.stats["router_ryw_grants"] >= 1
+        names = [r.name for r in report.invariants]
+        assert "no_session_routed_to_unmounted_member" in names
+        assert "ryw_waiters_admit_covering_or_expire" in names

@@ -158,10 +158,24 @@ class TestServices:
         registry.create("oltp", Service.PRIMARY_ONLY)
         registry.create("reports", Service.STANDBY_ONLY)
         registry.create("mixed", Service.PRIMARY_AND_STANDBY)
-        assert registry.route("oltp") == "primary"
-        assert registry.route("reports") == "standby"
-        assert registry.route("mixed") == "standby"
-        assert registry.route("mixed", prefer_standby=False) == "primary"
+        assert registry.route("oltp").is_primary
+        assert registry.route("reports").is_standby
+        assert registry.route("mixed").is_standby
+        assert registry.route("mixed", prefer_standby=False).is_primary
+
+    def test_route_targets_are_typed(self):
+        from repro.db import Role, RouteTarget
+
+        registry = ServiceRegistry()
+        registry.create("reports", Service.STANDBY_ONLY)
+        target = registry.route("reports")
+        assert target == RouteTarget(Role.STANDBY)
+        # the degenerate two-node fleet: no member named
+        assert target.member is None
+        assert target.describe() == "standby"
+        assert RouteTarget(Role.STANDBY, "standby-2").describe() == (
+            "standby:standby-2"
+        )
 
     def test_duplicate_service_rejected(self):
         from repro.common import InvalidStateError

@@ -1,0 +1,227 @@
+"""FleetRouter: typed targets, routing policy, affinity, standby loss."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import InvalidStateError
+from repro.db import Role, RouteTarget, Service
+from repro.fleet import FleetRouter, NoQualifyingStandbyError
+from repro.query import PoolExhaustedError
+
+from tests.fleet.conftest import load_fleet
+
+
+class TestTypedRouting:
+    def test_standby_session_carries_member_target(self, router):
+        session = router.connect("reports")
+        assert session.target == RouteTarget(Role.STANDBY, "standby-1")
+        assert session.target.is_standby
+        assert session.target.describe() == "standby:standby-1"
+        assert session.member is router.fleet.member("standby-1")
+        assert session.is_read_only
+        session.close()
+
+    def test_primary_session_has_no_member(self, router):
+        session = router.connect("oltp")
+        assert session.target.is_primary
+        assert session.member is None
+        assert not session.is_read_only
+        session.close()
+
+    def test_unknown_service_rejected(self, router):
+        from repro.common.errors import ObjectNotFoundError
+
+        with pytest.raises(ObjectNotFoundError):
+            router.connect("nope")
+
+    def test_unknown_policy_rejected(self, fleet):
+        deployment, __ = fleet
+        with pytest.raises(ValueError):
+            FleetRouter(deployment, policy="random")
+
+    def test_session_counts_tracked_per_member(self, router):
+        member = router.fleet.member("standby-1")
+        session = router.connect("reports")
+        assert member.active_sessions == 1
+        session.close()
+        assert member.active_sessions == 0
+        assert router.open_sessions == []
+
+
+class TestPolicies:
+    def test_lag_aware_balances_by_load(self, router):
+        sessions = [router.connect("reports") for __ in range(3)]
+        landed = sorted(s.member.name for s in sessions)
+        assert landed == ["standby-1", "standby-2", "standby-3"]
+        for session in sessions:
+            session.close()
+
+    def test_round_robin_cycles_members(self, fleet):
+        deployment, __ = fleet
+        router = FleetRouter(deployment, policy="round_robin")
+        router.registry.create("reports", Service.STANDBY_ONLY)
+        landed = []
+        for __ in range(6):
+            session = router.connect("reports")
+            landed.append(session.member.name)
+            session.close()
+        assert landed == [
+            "standby-1", "standby-2", "standby-3",
+        ] * 2
+
+    def test_lag_aware_avoids_lagging_member(self, fleet):
+        deployment, __ = fleet
+        router = FleetRouter(deployment, policy="lag_aware")
+        router.registry.create("reports", Service.STANDBY_ONLY)
+        # stop shipping to the routing favourite and generate redo: its
+        # published QuerySCN now trails the others
+        for shipper in deployment.shippers:
+            shipper.remove_destination("standby-1")
+        load_fleet(deployment, n=30, start=1000)
+        target = deployment.primary.clock.current
+        deployment.sched.run_until_condition(
+            lambda: all(
+                m.published_scn >= target
+                for m in deployment.members if m.name != "standby-1"
+            ),
+            max_time=60.0,
+        )
+        lag = deployment.member_lag(deployment.member("standby-1"))
+        assert lag > router.load_weight  # enough to dominate the score
+        session = router.connect("reports")
+        assert session.member.name != "standby-1"
+        session.close()
+
+    def test_affinity_pins_a_client_to_its_member(self, router):
+        first = router.connect("reports", affinity_key="client-7")
+        bound = first.member.name
+        # load now says "someone else", but affinity wins
+        second = router.connect("reports", affinity_key="client-7")
+        assert second.member.name == bound
+        other = router.connect("reports", affinity_key="client-8")
+        assert other.member.name != bound
+        for session in (first, second, other):
+            session.close()
+
+
+class TestCapacity:
+    def test_connect_raises_at_capacity(self, fleet):
+        deployment, __ = fleet
+        router = FleetRouter(deployment, max_sessions=2)
+        router.registry.create("reports", Service.STANDBY_ONLY)
+        a = router.connect("reports")
+        b = router.connect("reports")
+        with pytest.raises(PoolExhaustedError):
+            router.connect("reports")
+        a.close()
+        c = router.connect("reports")
+        for session in (b, c):
+            session.close()
+
+    def test_queued_connect_granted_on_release(self, fleet):
+        deployment, __ = fleet
+        router = FleetRouter(deployment, max_sessions=1)
+        router.registry.create("reports", Service.STANDBY_ONLY)
+        holder = router.connect("reports")
+        pending = router.connect_queued("reports")
+        assert not pending.ready
+        assert router.decisions["queued"]["reports"] == 1
+        holder.close()
+        assert pending.ready
+        session = pending.get()
+        assert session.target.is_standby
+        session.close()
+
+
+class TestTransactions:
+    def test_primary_session_reads_its_own_writes(self, router, fleet):
+        __, rowids = fleet
+        session = router.connect("oltp")
+        session.update("T", rowids[0], {"n1": -1.0})
+        scn = session.commit()
+        assert scn is not None and session.last_seen_scn == scn
+        handle = session.submit("T")
+        assert handle.done and handle.scn >= scn
+        session.close()
+
+    def test_standby_session_rejects_writes(self, router, fleet):
+        __, rowids = fleet
+        session = router.connect("reports")
+        with pytest.raises(InvalidStateError):
+            session.update("T", rowids[0], {"n1": -1.0})
+        session.close()
+
+    def test_close_rolls_back_open_transaction(self, router, fleet):
+        deployment, rowids = fleet
+        session = router.connect("oltp")
+        session.update("T", rowids[0], {"c1": "ghost"})
+        session.close()
+        from repro.imcs import Predicate
+
+        result = deployment.primary.query("T", [Predicate.eq("c1", "ghost")])
+        assert result.rows == []
+
+
+class TestStandbyLoss:
+    def test_sessions_drain_to_surviving_members(self, router):
+        deployment = router.fleet
+        session = router.connect("reports")
+        assert session.member.name == "standby-1"
+        generation = session.generation
+        deployment.lose_standby("standby-1")
+        assert session.member.name in ("standby-2", "standby-3")
+        assert session.generation == generation + 1
+        assert not session.closed and not session.lost
+        assert router.decisions["drained"]["reports"] == 1
+        assert router.routed_unmounted == 0
+        session.close()
+
+    def test_total_loss_fails_over_to_primary(self, router):
+        deployment = router.fleet
+        session = router.connect("mixed")
+        for name in ("standby-1", "standby-2", "standby-3"):
+            deployment.lose_standby(name)
+        assert session.target.is_primary and session.member is None
+        assert router.decisions["failed_over"]["mixed"] == 1
+        # the failed-over session still serves reads (from the primary)
+        handle = session.submit("T")
+        assert handle.done and len(handle.result.rows) == 100
+        session.close()
+
+    def test_total_loss_strands_standby_only_sessions(self, router):
+        deployment = router.fleet
+        session = router.connect("reports")
+        for name in ("standby-1", "standby-2", "standby-3"):
+            deployment.lose_standby(name)
+        assert session.lost and session.closed
+        # and new standby-only connects are refused outright
+        with pytest.raises(InvalidStateError):
+            router.connect("reports")
+
+    def test_affinity_forgets_the_dead_member(self, router):
+        deployment = router.fleet
+        session = router.connect("reports", affinity_key="pinned")
+        bound = session.member.name
+        deployment.lose_standby(bound)
+        rebound = session.member.name
+        again = router.connect("reports", affinity_key="pinned")
+        assert again.member.name == rebound
+        for s in (session, again):
+            s.close()
+
+    def test_decision_counters_feed_obs(self, fleet):
+        from repro import obs
+
+        deployment, __ = fleet
+        registry = obs.MetricsRegistry()
+        with obs.collecting(registry):
+            router = FleetRouter(deployment)
+            router.registry.create("reports", Service.STANDBY_ONLY)
+            session = router.connect("reports")
+            session.close()
+        counter = registry.get(
+            "fleet.router.routed",
+            service="reports", target="standby:standby-1",
+        )
+        assert counter is not None and counter.value == 1

@@ -99,6 +99,89 @@ class TestQueue:
         assert granted == ["oltp", "reporting"]
 
 
+class TestEligibility:
+    """Waiters gated on an external condition (read-your-writes: "a
+    standby whose published QuerySCN covers my commitSCN exists")."""
+
+    def test_ineligible_waiter_parked_without_a_grant(self):
+        ctrl = AdmissionController(limit=1)
+        granted = []
+        ctrl.enqueue(
+            "s", lambda: granted.append(True), eligible=lambda: False
+        )
+        # a slot is free, but the predicate says the waiter can't use it
+        assert not granted and ctrl.queue_depth == 1
+        assert ctrl.active == 0
+
+    def test_pump_grants_when_condition_flips(self):
+        ctrl = AdmissionController(limit=1)
+        qualified = []
+        granted = []
+        ctrl.enqueue(
+            "s", lambda: granted.append(True),
+            eligible=lambda: bool(qualified),
+        )
+        ctrl.pump()
+        assert not granted
+        qualified.append("standby caught up")
+        ctrl.pump()
+        assert granted == [True] and ctrl.active == 1
+
+    def test_newcomer_may_pass_an_ineligible_waiter(self):
+        # the parked waiter cannot use the slot *now*, so fairness does
+        # not require holding the newcomer back
+        ctrl = AdmissionController(limit=1)
+        ctrl.enqueue("s", lambda: None, eligible=lambda: False)
+        assert ctrl.try_admit("s")
+        assert ctrl.queue_depth == 1
+
+    def test_eligible_waiter_still_blocks_newcomers(self):
+        ctrl = AdmissionController(limit=1)
+        ctrl.try_admit("s")
+        ctrl.enqueue("s", lambda: None, eligible=lambda: True)
+        ctrl.release("s")  # the waiter takes the slot ...
+        assert not ctrl.try_admit("s")  # ... not the newcomer
+
+    def test_fifo_is_kept_within_eligible_waiters(self):
+        ctrl = AdmissionController(limit=2)
+        ctrl.try_admit("s")
+        ctrl.try_admit("s")
+        order = []
+        ready = []
+        ctrl.enqueue(
+            "s", lambda: order.append("gated"),
+            eligible=lambda: bool(ready),
+        )
+        ctrl.enqueue("s", lambda: order.append("plain"))
+        ctrl.release("s")
+        # the gated head is skipped without losing its queue position
+        assert order == ["plain"]
+        ready.append(True)
+        ctrl.release("s")
+        assert order == ["plain", "gated"]
+
+    def test_never_eligible_waiter_expires_without_leaking_a_slot(self):
+        """The standby a read-your-writes waiter is pinned on never
+        catches up: the waiter expires with its deadline error and
+        releases nothing, because it never held a slot."""
+        clock = FakeClock()
+        ctrl = AdmissionController(limit=1, clock=clock)
+        outcome = []
+        ctrl.enqueue(
+            "s", lambda: outcome.append("granted"),
+            timeout=5.0,
+            on_timeout=lambda: outcome.append("deadline"),
+            eligible=lambda: False,
+        )
+        clock.now = 6.0
+        assert ctrl.expire_waiters() == 1
+        assert outcome == ["deadline"]
+        assert ctrl.active == 0 and ctrl.queue_depth == 0
+        # the pool is intact: a newcomer admits immediately
+        assert ctrl.try_admit("s")
+        assert ctrl.active == 1
+
+
 class TestTimeouts:
     def test_waiter_expires_past_deadline(self):
         clock = FakeClock()
