@@ -4,10 +4,13 @@
 aggregation push-down are extended seamlessly to ADG."
 
 Instead of materialising matching rows and folding them in Python, the
-aggregator evaluates COUNT/SUM/AVG/MIN/MAX directly on the column vectors
-of each IMCU, restricted to the SMU-valid + predicate-matching positions,
-and only falls back to row-at-a-time accumulation for reconcile rows.  The
-partial states combine associatively across IMCUs and the row-store tail.
+aggregator evaluates COUNT/SUM/AVG/MIN/MAX *in the encoded domain*: every
+CU answers :meth:`~repro.imcs.compression.ColumnCU.stats_for_positions`
+over the SMU-valid + predicate-matching positions -- numeric columns fold
+their float vector, dictionary/RLE columns fold codes and run lengths and
+decode only the winning min/max codes -- and only reconcile rows fall back
+to row-at-a-time accumulation.  The partial states combine associatively
+across IMCUs and the row-store tail.
 """
 
 from __future__ import annotations
@@ -18,7 +21,6 @@ from typing import Optional
 import numpy as np
 
 from repro.common.scn import SCN
-from repro.imcs.compression import NumericCU
 from repro.imcs.scan import Predicate, ScanEngine, ScanStats
 from repro.rowstore.table import Table
 
@@ -46,15 +48,22 @@ class _Accumulator:
     minimum: object = None
     maximum: object = None
 
-    def add_vector(self, values: np.ndarray, nulls: np.ndarray) -> None:
-        present = values[~nulls]
-        if present.size == 0:
+    def merge_encoded(
+        self, count: int, total: float, minimum: object, maximum: object
+    ) -> None:
+        """Fold one CU's encoded-domain partial (stats_for_positions)."""
+        if count == 0:
             return
-        self.count += int(present.size)
-        self.total += float(present.sum())
-        lo, hi = float(present.min()), float(present.max())
-        self.minimum = lo if self.minimum is None else min(self.minimum, lo)
-        self.maximum = hi if self.maximum is None else max(self.maximum, hi)
+        self.count += count
+        self.total += total
+        if minimum is not None:
+            self.minimum = (
+                minimum if self.minimum is None else min(self.minimum, minimum)
+            )
+        if maximum is not None:
+            self.maximum = (
+                maximum if self.maximum is None else max(self.maximum, maximum)
+            )
 
     def add_value(self, value: object) -> None:
         if value is None:
@@ -142,16 +151,10 @@ class Aggregator:
             row_count.count += int(positions.size)
             result.pushed_down_rows += int(positions.size)
             for column in columns:
-                cu = imcu.column(column)
-                if isinstance(cu, NumericCU):
-                    accumulators[column].add_vector(
-                        cu._data[positions], cu._nulls[positions]
-                    )
-                else:
-                    # one bulk decode instead of a point get per cell
-                    add_value = accumulators[column].add_value
-                    for value in cu.take(positions):
-                        add_value(value)
+                # encoded-domain fold: codes / run lengths, no decode
+                accumulators[column].merge_encoded(
+                    *imcu.column(column).stats_for_positions(positions)
+                )
             return True
 
         return hook

@@ -9,12 +9,21 @@ pack the IMCS" (paper, II-B).  Three encodings are provided:
 * :class:`DictionaryCU` -- VARCHAR2 columns as int32 codes into a *sorted*
   dictionary; equality resolves to one code compare, range predicates to a
   code-range compare (sortedness makes order-preserving encoding possible).
-* :class:`RunLengthCU` -- run-length layer over dictionary codes, selected
-  when the column has long runs; decodes to the same interface.
+* :class:`RunLengthCU` -- run-length layer over dictionary codes; all
+  kernels evaluate *per run* and expand only matching runs, so no decoded
+  n_rows code vector is ever materialised (run-skipping).
 
 Every CU answers the same small interface: vectorised predicate masks,
-point access for projection, min/max for the storage index, and a memory
-estimate for the pool accounting.
+bulk decode for projection, encoded-domain aggregation
+(:meth:`ColumnCU.stats_for_positions`), min/max for the storage index, and
+a memory estimate for the pool accounting.
+
+CUs are also *reconstructible from raw buffers*
+(:func:`export_cu` / :func:`cu_from_export`): the process-parallel scan
+backend ships the numpy arrays through ``multiprocessing.shared_memory``
+and rebuilds identical CU objects in worker processes, and benchmarks use
+the same constructors to assemble large synthetic IMCUs without a per-row
+encode loop.
 """
 
 from __future__ import annotations
@@ -30,6 +39,11 @@ NULL_CODE = -1
 
 #: Switch to run-length encoding when the average run is at least this long.
 RLE_MIN_AVG_RUN = 4.0
+
+#: Expand matching RLE runs with per-run slice writes (run-skipping) when
+#: at most this many runs match; beyond it one vectorised ``np.repeat`` of
+#: the run mask is cheaper than the Python loop.
+RLE_SLICE_EXPAND_MAX_RUNS = 64
 
 
 class ColumnCU:
@@ -61,6 +75,32 @@ class ColumnCU:
 
     def null_mask(self) -> np.ndarray:
         raise NotImplementedError
+
+    def stats_for_positions(
+        self, positions
+    ) -> tuple[int, float, object, object]:
+        """Encoded-domain aggregation over the given row positions.
+
+        Returns ``(non_null_count, total, minimum, maximum)``; ``total``
+        is 0.0 for non-numeric columns.  Subclasses compute this from
+        codes / run lengths without decoding; this fallback folds over one
+        bulk :meth:`take`.
+        """
+        count = 0
+        total = 0.0
+        minimum: object = None
+        maximum: object = None
+        for value in self.take(positions):
+            if value is None:
+                continue
+            count += 1
+            if isinstance(value, (int, float)):
+                total += value
+            if minimum is None or value < minimum:
+                minimum = value
+            if maximum is None or value > maximum:
+                maximum = value
+        return count, total, minimum, maximum
 
     @property
     def min_value(self) -> object:
@@ -98,6 +138,33 @@ class NumericCU(ColumnCU):
             dtype=bool,
             count=self.n_rows,
         )
+        self._finish_init()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        data: np.ndarray,
+        nulls: Optional[np.ndarray] = None,
+        is_int: Optional[np.ndarray] = None,
+    ) -> "NumericCU":
+        """Build directly from encoded buffers (no per-row Python)."""
+        cu = cls.__new__(cls)
+        cu._data = np.ascontiguousarray(data, dtype=np.float64)
+        cu.n_rows = int(cu._data.shape[0])
+        cu._nulls = (
+            np.zeros(cu.n_rows, dtype=bool)
+            if nulls is None
+            else np.ascontiguousarray(nulls, dtype=bool)
+        )
+        cu._is_int = (
+            np.zeros(cu.n_rows, dtype=bool)
+            if is_int is None
+            else np.ascontiguousarray(is_int, dtype=bool)
+        )
+        cu._finish_init()
+        return cu
+
+    def _finish_init(self) -> None:
         present = self._data[~self._nulls]
         self._min = float(present.min()) if present.size else None
         self._max = float(present.max()) if present.size else None
@@ -109,18 +176,27 @@ class NumericCU(ColumnCU):
         return int(value) if self._is_int[i] else float(value)
 
     def take(self, positions) -> list:
-        values = self._data[positions].tolist()
-        nulls = self._nulls[positions].tolist()
-        is_int = self._is_int[positions].tolist()
-        return [
-            None if null else (int(v) if as_int else v)
-            for v, null, as_int in zip(values, nulls, is_int)
-        ]
+        positions = np.asarray(positions, dtype=np.int64)
+        values = self._data[positions]
+        out = np.empty(values.size, dtype=object)
+        out[:] = values.tolist()  # Python floats, not np.float64
+        ints = self._is_int[positions]
+        if ints.any():
+            out[ints] = values[ints].astype(np.int64).tolist()
+        nulls = self._nulls[positions]
+        if nulls.any():
+            out[nulls] = None
+        return out.tolist()
 
     def eq_mask(self, value: object) -> np.ndarray:
-        if value is None:
+        if value is None or isinstance(value, str):
             return np.zeros(self.n_rows, dtype=bool)
-        return (self._data == float(value)) & ~self._nulls  # type: ignore[arg-type]
+        try:
+            needle = float(value)
+        except (TypeError, ValueError):
+            # non-numeric comparison value: a NUMBER row can never equal it
+            return np.zeros(self.n_rows, dtype=bool)
+        return (self._data == needle) & ~self._nulls
 
     def range_mask(self, lo=None, hi=None, lo_inclusive=True, hi_inclusive=True):
         mask = ~self._nulls
@@ -132,6 +208,20 @@ class NumericCU(ColumnCU):
 
     def null_mask(self) -> np.ndarray:
         return self._nulls.copy()
+
+    def stats_for_positions(self, positions):
+        positions = np.asarray(positions, dtype=np.int64)
+        values = self._data[positions]
+        nulls = self._nulls[positions]
+        present = values[~nulls] if nulls.any() else values
+        if present.size == 0:
+            return 0, 0.0, None, None
+        return (
+            int(present.size),
+            float(present.sum()),
+            float(present.min()),
+            float(present.max()),
+        )
 
     @property
     def min_value(self):
@@ -148,6 +238,48 @@ class NumericCU(ColumnCU):
         )
 
 
+def _dictionary_bytes(dictionary: list[str]) -> int:
+    return sum(len(v) for v in dictionary) + 8 * len(dictionary)
+
+
+def _decode_table(dictionary: Sequence[str]) -> np.ndarray:
+    """Object-array decode table with ``None`` in the last slot, so a
+    fancy-indexed gather maps ``NULL_CODE`` (-1) straight to None."""
+    table = np.empty(len(dictionary) + 1, dtype=object)
+    if len(dictionary):
+        table[:-1] = dictionary
+    table[-1] = None
+    return table
+
+
+def _sorted_code_for(dictionary: list[str], value: str) -> Optional[int]:
+    i = bisect.bisect_left(dictionary, value)
+    if i < len(dictionary) and dictionary[i] == value:
+        return i
+    return None
+
+
+def _code_bounds(
+    dictionary: list[str], lo, hi, lo_inclusive: bool, hi_inclusive: bool
+) -> tuple[int, int]:
+    """Map a value range to a contiguous code range of a sorted dictionary."""
+    lo_code = 0
+    hi_code = len(dictionary) - 1
+    if lo is not None:
+        lo_code = (
+            bisect.bisect_left(dictionary, lo)
+            if lo_inclusive
+            else bisect.bisect_right(dictionary, lo)
+        )
+    if hi is not None:
+        hi_code = (
+            bisect.bisect_right(dictionary, hi) - 1
+            if hi_inclusive
+            else bisect.bisect_left(dictionary, hi) - 1
+        )
+    return lo_code, hi_code
+
+
 class DictionaryCU(ColumnCU):
     """VARCHAR2 column: int32 codes into a sorted dictionary."""
 
@@ -161,6 +293,20 @@ class DictionaryCU(ColumnCU):
             dtype=np.int32,
             count=self.n_rows,
         )
+        self._decode_cache: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_codes(
+        cls, codes: np.ndarray, dictionary: Sequence[str]
+    ) -> "DictionaryCU":
+        """Build directly from an encoded code vector and its *sorted*
+        dictionary (no per-row Python)."""
+        cu = cls.__new__(cls)
+        cu._codes = np.ascontiguousarray(codes, dtype=np.int32)
+        cu.n_rows = int(cu._codes.shape[0])
+        cu._dictionary = list(dictionary)
+        cu._decode_cache = None
+        return cu
 
     @property
     def dictionary(self) -> list[str]:
@@ -172,21 +318,21 @@ class DictionaryCU(ColumnCU):
 
     def code_for(self, value: str) -> Optional[int]:
         """Exact-match code, or None when the value is not in this CU."""
-        i = bisect.bisect_left(self._dictionary, value)
-        if i < len(self._dictionary) and self._dictionary[i] == value:
-            return i
-        return None
+        return _sorted_code_for(self._dictionary, value)
+
+    def _decode_objects(self) -> np.ndarray:
+        if self._decode_cache is None:
+            self._decode_cache = _decode_table(self._dictionary)
+        return self._decode_cache
 
     def get(self, i: int) -> object:
         code = self._codes[i]
         return None if code == NULL_CODE else self._dictionary[code]
 
     def take(self, positions) -> list:
-        dictionary = self._dictionary
-        return [
-            None if code == NULL_CODE else dictionary[code]
-            for code in self._codes[positions].tolist()
-        ]
+        positions = np.asarray(positions, dtype=np.int64)
+        # NULL_CODE (-1) indexes the table's trailing None slot
+        return self._decode_objects()[self._codes[positions]].tolist()
 
     def eq_mask(self, value: object) -> np.ndarray:
         if value is None or not isinstance(value, str):
@@ -204,6 +350,20 @@ class DictionaryCU(ColumnCU):
     def null_mask(self) -> np.ndarray:
         return self._codes == NULL_CODE
 
+    def stats_for_positions(self, positions):
+        positions = np.asarray(positions, dtype=np.int64)
+        codes = self._codes[positions]
+        present = codes[codes != NULL_CODE]
+        if present.size == 0:
+            return 0, 0.0, None, None
+        # codes are order-preserving: min/max decode exactly two values
+        return (
+            int(present.size),
+            0.0,
+            self._dictionary[int(present.min())],
+            self._dictionary[int(present.max())],
+        )
+
     @property
     def min_value(self):
         return self._dictionary[0] if self._dictionary else None
@@ -214,43 +374,98 @@ class DictionaryCU(ColumnCU):
 
     @property
     def memory_bytes(self) -> int:
-        dict_bytes = sum(len(v) for v in self._dictionary) + 8 * len(self._dictionary)
-        return int(self._codes.nbytes) + dict_bytes
+        return int(self._codes.nbytes) + _dictionary_bytes(self._dictionary)
 
 
 class RunLengthCU(ColumnCU):
-    """Run-length envelope over a dictionary CU.
+    """Run-length envelope over sorted-dictionary codes.
 
-    Stores (run start offsets, run codes); decodes lazily to a full code
-    vector for mask evaluation (cached), so it trades memory for a one-time
-    decode cost, like Oracle's RLE within IMCU pieces.
+    Stores (run start offsets, run codes, run lengths) only.  Every kernel
+    evaluates in the *run domain*: predicate masks compare the n_runs code
+    vector and expand just the matching runs into the row mask
+    (run-skipping), ``take`` binary-searches run starts, and aggregation
+    folds run codes -- no decoded n_rows code vector is ever allocated, so
+    ``memory_bytes`` is the true pool footprint.
     """
 
     def __init__(self, base: DictionaryCU) -> None:
         codes = base._codes
-        self.n_rows = base.n_rows
-        self._dictionary = base._dictionary
-        if self.n_rows:
+        n_rows = base.n_rows
+        if n_rows:
             change = np.flatnonzero(np.diff(codes)) + 1
             starts = np.concatenate(([0], change)).astype(np.int64)
+            run_codes = codes[starts].astype(np.int32)
         else:
             starts = np.zeros(0, dtype=np.int64)
+            run_codes = np.zeros(0, dtype=np.int32)
+        self._install_runs(starts, run_codes, n_rows, base._dictionary)
+
+    @classmethod
+    def from_runs(
+        cls,
+        run_starts: np.ndarray,
+        run_codes: np.ndarray,
+        n_rows: int,
+        dictionary: Sequence[str],
+    ) -> "RunLengthCU":
+        """Build directly from run buffers and a *sorted* dictionary."""
+        cu = cls.__new__(cls)
+        cu._install_runs(
+            np.ascontiguousarray(run_starts, dtype=np.int64),
+            np.ascontiguousarray(run_codes, dtype=np.int32),
+            int(n_rows),
+            list(dictionary),
+        )
+        return cu
+
+    def _install_runs(
+        self,
+        starts: np.ndarray,
+        run_codes: np.ndarray,
+        n_rows: int,
+        dictionary: list[str],
+    ) -> None:
+        self.n_rows = n_rows
+        self._dictionary = dictionary
         self._run_starts = starts
-        self._run_codes = codes[starts] if self.n_rows else codes
-        self._decoded: Optional[np.ndarray] = None
-        self._base_for_lookup = base  # reuse dictionary search helpers
+        self._run_codes = run_codes
+        self._run_lengths = np.diff(
+            np.concatenate((starts, [n_rows]))
+        ).astype(np.int64)
+        self._decode_cache: Optional[np.ndarray] = None
 
     @property
     def n_runs(self) -> int:
         return len(self._run_starts)
 
-    def _codes_vector(self) -> np.ndarray:
-        if self._decoded is None:
-            lengths = np.diff(
-                np.concatenate((self._run_starts, [self.n_rows]))
-            )
-            self._decoded = np.repeat(self._run_codes, lengths).astype(np.int32)
-        return self._decoded
+    def run_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(starts, lengths, codes) -- read-only run-domain view."""
+        return self._run_starts, self._run_lengths, self._run_codes
+
+    def _decode_objects(self) -> np.ndarray:
+        if self._decode_cache is None:
+            self._decode_cache = _decode_table(self._dictionary)
+        return self._decode_cache
+
+    def _expand_runs(self, run_mask: np.ndarray) -> np.ndarray:
+        """Row mask from a run mask, touching only matching runs."""
+        matching = np.flatnonzero(run_mask)
+        if matching.size == 0:
+            return np.zeros(self.n_rows, dtype=bool)
+        if matching.size <= RLE_SLICE_EXPAND_MAX_RUNS:
+            out = np.zeros(self.n_rows, dtype=bool)
+            starts = self._run_starts
+            lengths = self._run_lengths
+            for r in matching.tolist():
+                start = starts[r]
+                out[start:start + lengths[r]] = True
+            return out
+        return np.repeat(run_mask, self._run_lengths)
+
+    def _positions_to_codes(self, positions) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        idx = np.searchsorted(self._run_starts, positions, side="right") - 1
+        return self._run_codes[idx]
 
     def get(self, i: int) -> object:
         idx = int(np.searchsorted(self._run_starts, i, side="right")) - 1
@@ -258,28 +473,40 @@ class RunLengthCU(ColumnCU):
         return None if code == NULL_CODE else self._dictionary[code]
 
     def take(self, positions) -> list:
-        dictionary = self._dictionary
-        return [
-            None if code == NULL_CODE else dictionary[code]
-            for code in self._codes_vector()[positions].tolist()
-        ]
+        return self._decode_objects()[
+            self._positions_to_codes(positions)
+        ].tolist()
 
     def eq_mask(self, value: object) -> np.ndarray:
         if value is None or not isinstance(value, str):
             return np.zeros(self.n_rows, dtype=bool)
-        code = self._base_for_lookup.code_for(value)
+        code = _sorted_code_for(self._dictionary, value)
         if code is None:
             return np.zeros(self.n_rows, dtype=bool)
-        return self._codes_vector() == code
+        return self._expand_runs(self._run_codes == code)
 
     def range_mask(self, lo=None, hi=None, lo_inclusive=True, hi_inclusive=True):
-        return _range_mask_over_codes(
-            self._codes_vector(), self._dictionary,
-            lo, hi, lo_inclusive, hi_inclusive,
+        lo_code, hi_code = _code_bounds(
+            self._dictionary, lo, hi, lo_inclusive, hi_inclusive
         )
+        run_mask = (self._run_codes >= lo_code) & (self._run_codes <= hi_code)
+        run_mask &= self._run_codes != NULL_CODE
+        return self._expand_runs(run_mask)
 
     def null_mask(self) -> np.ndarray:
-        return self._codes_vector() == NULL_CODE
+        return self._expand_runs(self._run_codes == NULL_CODE)
+
+    def stats_for_positions(self, positions):
+        codes = self._positions_to_codes(positions)
+        present = codes[codes != NULL_CODE]
+        if present.size == 0:
+            return 0, 0.0, None, None
+        return (
+            int(present.size),
+            0.0,
+            self._dictionary[int(present.min())],
+            self._dictionary[int(present.max())],
+        )
 
     @property
     def min_value(self):
@@ -291,8 +518,12 @@ class RunLengthCU(ColumnCU):
 
     @property
     def memory_bytes(self) -> int:
-        dict_bytes = sum(len(v) for v in self._dictionary) + 8 * len(self._dictionary)
-        return int(self._run_starts.nbytes + self._run_codes.nbytes) + dict_bytes
+        run_bytes = int(
+            self._run_starts.nbytes
+            + self._run_codes.nbytes
+            + self._run_lengths.nbytes
+        )
+        return run_bytes + _dictionary_bytes(self._dictionary)
 
 
 def _range_mask_over_codes(
@@ -308,20 +539,9 @@ def _range_mask_over_codes(
     Because the dictionary is sorted, a value range maps to a contiguous
     code range, and the comparison runs on the int32 code vector.
     """
-    lo_code = 0
-    hi_code = len(dictionary) - 1
-    if lo is not None:
-        lo_code = (
-            bisect.bisect_left(dictionary, lo)
-            if lo_inclusive
-            else bisect.bisect_right(dictionary, lo)
-        )
-    if hi is not None:
-        hi_code = (
-            bisect.bisect_right(dictionary, hi) - 1
-            if hi_inclusive
-            else bisect.bisect_left(dictionary, hi) - 1
-        )
+    lo_code, hi_code = _code_bounds(
+        dictionary, lo, hi, lo_inclusive, hi_inclusive
+    )
     mask = (codes >= lo_code) & (codes <= hi_code)
     mask &= codes != NULL_CODE
     return mask
@@ -369,6 +589,18 @@ class GlobalDictionary:
     def decode(self, code: int) -> str:
         return self._values[code]
 
+    def snapshot(self) -> list[str]:
+        """Copy of the current code -> value list (codes are stable, so a
+        prefix snapshot decodes every code assigned so far)."""
+        return list(self._values)
+
+    @classmethod
+    def from_values(cls, values: Sequence[str]) -> "GlobalDictionary":
+        dictionary = cls()
+        for value in values:
+            dictionary.encode(value)
+        return dictionary
+
     def __len__(self) -> int:
         return len(self._values)
 
@@ -377,8 +609,9 @@ class SharedDictionaryCU(ColumnCU):
     """A VARCHAR2 CU encoded against a join group's global dictionary.
 
     Codes are assignment-ordered (not value-ordered), so range predicates
-    scan the dictionary for qualifying codes instead of comparing code
-    ranges; equality stays a single vectorised compare.
+    compute the qualifying-code set with one vectorised comparison over
+    the dictionary's decode table (cardinality-bounded) instead of a
+    per-row decode; equality stays a single vectorised compare.
     """
 
     def __init__(self, values: Sequence[Optional[str]], dictionary: GlobalDictionary) -> None:
@@ -395,6 +628,44 @@ class SharedDictionaryCU(ColumnCU):
         present = [v for v in values if v is not None]
         self._min = min(present) if present else None
         self._max = max(present) if present else None
+        self._decode_cache: Optional[np.ndarray] = None
+        self._decode_len = -1
+
+    @classmethod
+    def from_codes(
+        cls, codes: np.ndarray, values: Sequence[str]
+    ) -> "SharedDictionaryCU":
+        """Rebuild from an encoded code vector plus the global dictionary's
+        value list (shared-memory reconstruction path)."""
+        cu = cls.__new__(cls)
+        cu._codes = np.ascontiguousarray(codes, dtype=np.int64)
+        cu.n_rows = int(cu._codes.shape[0])
+        cu.dictionary = GlobalDictionary.from_values(values)
+        cu._decode_cache = None
+        cu._decode_len = -1
+        present = cu._codes[cu._codes != NULL_CODE]
+        if present.size:
+            table = cu._dictionary_objects()
+            uniq = np.unique(present)
+            decoded = table[uniq].tolist()
+            cu._min = min(decoded)
+            cu._max = max(decoded)
+        else:
+            cu._min = None
+            cu._max = None
+        return cu
+
+    def _dictionary_objects(self) -> np.ndarray:
+        """Object-array over the global dictionary's values; refreshed when
+        the (append-only) dictionary has grown."""
+        n = len(self.dictionary)
+        if self._decode_cache is None or self._decode_len != n:
+            table = np.empty(n, dtype=object)
+            if n:
+                table[:] = self.dictionary._values[:n]
+            self._decode_cache = table
+            self._decode_len = n
+        return self._decode_cache
 
     @property
     def codes(self) -> np.ndarray:
@@ -405,11 +676,16 @@ class SharedDictionaryCU(ColumnCU):
         return None if code == NULL_CODE else self.dictionary.decode(int(code))
 
     def take(self, positions) -> list:
-        decode = self.dictionary.decode
-        return [
-            None if code == NULL_CODE else decode(code)
-            for code in self._codes[positions].tolist()
-        ]
+        positions = np.asarray(positions, dtype=np.int64)
+        codes = self._codes[positions]
+        table = self._dictionary_objects()
+        if table.size == 0:
+            return [None] * int(codes.size)
+        out = table[codes]  # NULL_CODE (-1) wraps; fixed up below
+        nulls = codes == NULL_CODE
+        if nulls.any():
+            out[nulls] = None
+        return out.tolist()
 
     def eq_mask(self, value: object) -> np.ndarray:
         if not isinstance(value, str):
@@ -420,33 +696,34 @@ class SharedDictionaryCU(ColumnCU):
         return self._codes == code
 
     def range_mask(self, lo=None, hi=None, lo_inclusive=True, hi_inclusive=True):
-        def qualifies(value: str) -> bool:
-            if lo is not None:
-                if lo_inclusive and value < lo:
-                    return False
-                if not lo_inclusive and value <= lo:
-                    return False
-            if hi is not None:
-                if hi_inclusive and value > hi:
-                    return False
-                if not hi_inclusive and value >= hi:
-                    return False
-            return True
-
-        wanted = np.fromiter(
-            (
-                code
-                for code in range(len(self.dictionary))
-                if qualifies(self.dictionary.decode(code))
-            ),
-            dtype=np.int64,
-        )
-        mask = np.isin(self._codes, wanted)
-        mask &= self._codes != NULL_CODE
-        return mask
+        table = self._dictionary_objects()
+        if table.size == 0:
+            return np.zeros(self.n_rows, dtype=bool)
+        qualifies = np.ones(table.size, dtype=bool)
+        if lo is not None:
+            qualifies &= (table >= lo) if lo_inclusive else (table > lo)
+        if hi is not None:
+            qualifies &= (table <= hi) if hi_inclusive else (table < hi)
+        wanted = np.flatnonzero(qualifies)
+        if wanted.size == 0:
+            return np.zeros(self.n_rows, dtype=bool)
+        # wanted codes are all >= 0, so NULL_CODE rows can never match
+        return np.isin(self._codes, wanted)
 
     def null_mask(self) -> np.ndarray:
         return self._codes == NULL_CODE
+
+    def stats_for_positions(self, positions):
+        positions = np.asarray(positions, dtype=np.int64)
+        codes = self._codes[positions]
+        present = codes[codes != NULL_CODE]
+        if present.size == 0:
+            return 0, 0.0, None, None
+        # assignment-ordered codes: min/max decode the unique code set
+        # (cardinality-bounded), never the rows
+        uniq = np.unique(present)
+        decoded = self._dictionary_objects()[uniq].tolist()
+        return int(present.size), 0.0, min(decoded), max(decoded)
 
     @property
     def min_value(self):
@@ -459,3 +736,61 @@ class SharedDictionaryCU(ColumnCU):
     @property
     def memory_bytes(self) -> int:
         return int(self._codes.nbytes)  # the dictionary is shared
+
+
+# ----------------------------------------------------------------------
+# buffer export / reconstruction (shared-memory scan workers, fast build)
+# ----------------------------------------------------------------------
+def export_cu(cu: ColumnCU) -> tuple[str, dict[str, np.ndarray], dict]:
+    """Describe a CU as ``(kind, arrays, meta)``.
+
+    ``arrays`` maps buffer names to numpy arrays (shareable across
+    processes); ``meta`` holds the small picklable remainder (dictionary
+    value lists, row counts).  :func:`cu_from_export` inverts this.
+    """
+    if isinstance(cu, NumericCU):
+        return (
+            "numeric",
+            {"data": cu._data, "nulls": cu._nulls, "is_int": cu._is_int},
+            {},
+        )
+    if isinstance(cu, RunLengthCU):
+        return (
+            "rle",
+            {"run_starts": cu._run_starts, "run_codes": cu._run_codes},
+            {"dictionary": cu._dictionary, "n_rows": cu.n_rows},
+        )
+    if isinstance(cu, DictionaryCU):
+        return (
+            "dictionary",
+            {"codes": cu._codes},
+            {"dictionary": cu._dictionary},
+        )
+    if isinstance(cu, SharedDictionaryCU):
+        return (
+            "shared",
+            {"codes": cu._codes},
+            {"values": cu.dictionary.snapshot()},
+        )
+    raise TypeError(f"cannot export {type(cu).__name__}")
+
+
+def cu_from_export(
+    kind: str, arrays: dict[str, np.ndarray], meta: dict
+) -> ColumnCU:
+    """Rebuild a CU from :func:`export_cu` output (zero-copy over the
+    provided arrays)."""
+    if kind == "numeric":
+        return NumericCU.from_arrays(
+            arrays["data"], arrays["nulls"], arrays["is_int"]
+        )
+    if kind == "rle":
+        return RunLengthCU.from_runs(
+            arrays["run_starts"], arrays["run_codes"],
+            meta["n_rows"], meta["dictionary"],
+        )
+    if kind == "dictionary":
+        return DictionaryCU.from_codes(arrays["codes"], meta["dictionary"])
+    if kind == "shared":
+        return SharedDictionaryCU.from_codes(arrays["codes"], meta["values"])
+    raise ValueError(f"unknown CU export kind {kind!r}")

@@ -48,21 +48,29 @@ class IMCU:
         object_id: ObjectId,
         tenant: TenantId,
         snapshot_scn: SCN,
-        rowids: list[RowId],
+        rowids: Optional[list[RowId]],
         captured_slots: dict[DBA, int],
         columns: dict[str, ColumnCU],
+        n_rows: Optional[int] = None,
     ) -> None:
         self.imcu_id = IMCU._next_id
         IMCU._next_id += 1
         self.object_id = object_id
         self.tenant = tenant
         self.snapshot_scn = snapshot_scn
+        # rowids=None builds a synthetic IMCU (benchmark fixtures) with no
+        # per-row physical addresses; n_rows must then be given explicitly.
+        if rowids is None:
+            if n_rows is None:
+                raise ValueError("rowids=None requires explicit n_rows")
+            rowids = []
         self.rowids = rowids
+        self._n_rows = n_rows if n_rows is not None else len(rowids)
         self.captured_slots = captured_slots
         self._columns = columns
-        self._row_position: dict[RowId, int] = {
-            rowid: i for i, rowid in enumerate(rowids)
-        }
+        #: rowid -> position map, built on first position_of() call --
+        #: scans never need it, only invalidation mapping does.
+        self._row_position: Optional[dict[RowId, int]] = None
         # cached geometry (an IMCU is immutable once built)
         self._covered_dbas = tuple(captured_slots)
         self._column_names = frozenset(columns)
@@ -164,7 +172,7 @@ class IMCU:
     # ------------------------------------------------------------------
     @property
     def n_rows(self) -> int:
-        return len(self.rowids)
+        return self._n_rows
 
     @property
     def covered_dbas(self) -> tuple[DBA, ...]:
@@ -175,6 +183,10 @@ class IMCU:
 
     def position_of(self, rowid: RowId) -> Optional[int]:
         """Row position of a physical address, or None if not captured."""
+        if self._row_position is None:
+            self._row_position = {
+                rid: i for i, rid in enumerate(self.rowids)
+            }
         return self._row_position.get(rowid)
 
     def _build_dba_index(self) -> None:

@@ -211,6 +211,23 @@ class ScanResult:
 
 
 @dataclass(slots=True)
+class UnitScanContext:
+    """Structured description of one IMCU morsel's work, for execution
+    backends that cannot run the morsel closure as-is.  The process
+    backend offloads the columnar kernel part (predicate masks + batch
+    projection over the CU buffers) to a worker process and runs the
+    row-store reconcile tail in the parent through ``engine``."""
+
+    engine: "ScanEngine"
+    table: object
+    store: object
+    smu: SMU
+    snapshot_scn: SCN
+    compiled: "_CompiledScan"
+    on_imcu_matches: object = None
+
+
+@dataclass(slots=True)
 class ScanMorsel:
     """One independently-runnable slice of a scan (morsel-driven
     parallelism): an IMCU+reconcile unit, a chunk of row-format blocks,
@@ -221,6 +238,35 @@ class ScanMorsel:
     kind: str  # "imcu" | "rowstore" | "stats"
     description: str
     run: Callable[[], ScanResult]
+    #: Present on "imcu" morsels: lets real-parallel backends split the
+    #: columnar kernels from the reconcile tail (see UnitScanContext).
+    unit_ctx: Optional[UnitScanContext] = None
+
+
+def unit_matched_positions(
+    unit, valid: np.ndarray, predicates: list[Predicate]
+) -> np.ndarray:
+    """Positions of SMU-valid rows matching every predicate.
+
+    ``unit`` is anything with ``.column(name)`` (an IMCU, or a worker-side
+    column set rebuilt from shared memory).  Predicate masks are freshly
+    allocated so the combine is in-place; ``valid`` is only ever a read
+    operand.  Serial scans and process-parallel workers share this exact
+    kernel, which is what makes parallel == serial row-for-row.
+    """
+    mask = None
+    for predicate in predicates:
+        predicate_mask = predicate.eval_mask(unit)
+        if mask is None:
+            mask = predicate_mask
+        else:
+            mask &= predicate_mask
+    if mask is None:
+        matched = valid
+    else:
+        mask &= valid
+        matched = mask
+    return np.flatnonzero(matched)
 
 
 def merge_partials(partials: list[ScanResult]) -> ScanResult:
@@ -432,6 +478,12 @@ class ScanEngine:
                     morsels.append(ScanMorsel(
                         "imcu", f"{pname}/imcu@{smu.imcu.snapshot_scn}",
                         run_unit,
+                        unit_ctx=UnitScanContext(
+                            engine=self, table=table, store=store,
+                            smu=smu, snapshot_scn=snapshot_scn,
+                            compiled=compiled,
+                            on_imcu_matches=on_imcu_matches,
+                        ),
                     ))
             if unusable:
                 def run_stats(unusable=unusable):
@@ -536,22 +588,9 @@ class ScanEngine:
                 result.stats.imcus_pruned += 1
                 matched_positions = np.zeros(0, dtype=np.int64)
             else:
-                # predicate masks are freshly allocated, so the combine is
-                # in-place; the cached validity mask is only ever a read
-                # operand
-                mask = None
-                for predicate in predicates:
-                    predicate_mask = predicate.eval_mask(imcu)
-                    if mask is None:
-                        mask = predicate_mask
-                    else:
-                        mask &= predicate_mask
-                if mask is None:
-                    matched = valid
-                else:
-                    mask &= valid
-                    matched = mask
-                matched_positions = np.flatnonzero(matched)
+                matched_positions = unit_matched_positions(
+                    imcu, valid, predicates
+                )
                 result.stats.imcus_used += 1
                 result.stats.imcs_rows += imcu.n_rows
                 result.stats.cost_seconds += IMCS_COST_PER_ROW * imcu.n_rows
@@ -567,25 +606,39 @@ class ScanEngine:
                     imcu.project_rows(matched_positions, compiled.names)
                 )
 
-            # 3. invalid rows: reconcile through the row store, one block
-            #    at a time (the SMU keeps the DBA grouping cached)
-            for dba, slots in smu.invalid_slots_by_dba().items():
-                block = store.get_optional(dba)
-                self._fetch_block_slots(
-                    table, block, dba, slots, snapshot_scn, compiled, result,
-                )
-
-            # 4. edge rows: slots added to covered blocks after the snapshot
-            for dba, captured in imcu.captured_slots.items():
-                block = store.get_optional(dba)
-                if block is None or block.used_slots <= captured:
-                    continue
-                self._fetch_block_slots(
-                    table, block, dba, range(captured, block.used_slots),
-                    snapshot_scn, compiled, result,
-                )
+            self._reconcile_unit(
+                table, store, smu, snapshot_scn, compiled, result
+            )
         finally:
             smu.unpin()
+
+    def _reconcile_unit(
+        self, table, store, smu: SMU, snapshot_scn,
+        compiled: _CompiledScan, result,
+    ) -> None:
+        """Row-store tail of one unit scan: invalid rows and edge rows.
+
+        Caller holds the SMU pin.  Shared between the serial scan and the
+        process-parallel backend (which offloads only the columnar part).
+        """
+        imcu = smu.imcu
+        # 3. invalid rows: reconcile through the row store, one block
+        #    at a time (the SMU keeps the DBA grouping cached)
+        for dba, slots in smu.invalid_slots_by_dba().items():
+            block = store.get_optional(dba)
+            self._fetch_block_slots(
+                table, block, dba, slots, snapshot_scn, compiled, result,
+            )
+
+        # 4. edge rows: slots added to covered blocks after the snapshot
+        for dba, captured in imcu.captured_slots.items():
+            block = store.get_optional(dba)
+            if block is None or block.used_slots <= captured:
+                continue
+            self._fetch_block_slots(
+                table, block, dba, range(captured, block.used_slots),
+                snapshot_scn, compiled, result,
+            )
 
     # ------------------------------------------------------------------
     def _fetch_block_slots(

@@ -58,6 +58,16 @@ class TestNumericCU:
         assert taken == [8.0, 0.0, 7, None]
         assert [type(v) for v in taken[:3]] == [float, float, int]
 
+    def test_eq_mask_non_numeric_value_is_all_false(self):
+        """Satellite regression: a string literal against a NUMBER column
+        must produce an empty match, not raise from ``float(value)``."""
+        cu = NumericCU([1, 2, None])
+        assert not cu.eq_mask("two").any()
+        assert not cu.eq_mask("2").any()  # no implicit string coercion
+        assert not cu.eq_mask(None).any()
+        assert not cu.eq_mask(object()).any()
+        assert list(cu.eq_mask(2)) == [False, True, False]
+
 
 class TestDictionaryCU:
     def test_roundtrip(self):
@@ -115,6 +125,20 @@ class TestRunLengthCU:
         base = DictionaryCU(values)
         rle = RunLengthCU(base)
         assert rle.memory_bytes < base.memory_bytes
+
+    def test_memory_bytes_unchanged_by_kernels(self):
+        """Satellite regression: pool accounting used to under-report
+        after the first mask evaluation cached a decoded n_rows vector;
+        the run-native kernels keep no such cache."""
+        rle = RunLengthCU(DictionaryCU(["a"] * 100 + [None] * 50 + ["b"] * 100))
+        before = rle.memory_bytes
+        rle.eq_mask("a")
+        rle.range_mask("a", "b")
+        rle.null_mask()
+        rle.take(np.array([0, 120, 249]))
+        rle.stats_for_positions(np.array([0, 120, 249]))
+        assert rle.memory_bytes == before
+        assert not hasattr(rle, "_decoded")
 
 
 class TestEncodeColumn:

@@ -1,0 +1,163 @@
+"""Process-parallel execution: byte-identical to the serial scan.
+
+The process backend offloads columnar kernels to real OS processes over
+shared-memory CU buffers; everything observable (rows, stats, plan-order
+merge) must match the serial ``ScanEngine.scan`` and the sim backend
+exactly -- including units with invalidated rows that reconcile through
+the row store in the parent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Deployment, InMemoryService
+from repro.imcs import Predicate
+from repro.query import QueryWorkerPool
+
+from tests.db.conftest import load, simple_table_def, small_config
+
+
+def assert_stats_match(actual, expected):
+    """Field-wise stats equality; ``cost_seconds`` is a float sum whose
+    grouping differs between per-partial merge and the serial
+    accumulator, so it is compared to within float tolerance."""
+    assert actual.imcs_rows == expected.imcs_rows
+    assert actual.rowstore_rows == expected.rowstore_rows
+    assert actual.fallback_rows == expected.fallback_rows
+    assert actual.imcus_used == expected.imcus_used
+    assert actual.imcus_pruned == expected.imcus_pruned
+    assert actual.imcus_unusable == expected.imcus_unusable
+    assert actual.cost_seconds == pytest.approx(expected.cost_seconds)
+
+
+@pytest.fixture
+def deployment_with_updates():
+    deployment = Deployment.build(config=small_config())
+    deployment.create_table(simple_table_def())
+    rowids, __ = load(deployment, n=400)
+    deployment.enable_inmemory("T", service=InMemoryService.BOTH)
+    deployment.catch_up()
+    # Invalidate a spread of rows so the reconcile tail has real work.
+    primary = deployment.primary
+    for i in range(0, 400, 7):
+        txn = primary.begin()
+        primary.update(txn, "T", rowids[i], {"n1": 100000.0 + i})
+        primary.commit(txn)
+    deployment.catch_up()
+    return deployment, rowids
+
+
+def run_backend(deployment, backend, predicates=None, columns=None):
+    standby = deployment.standby
+    table = standby.catalog.table("T")
+    morsels = standby.scan_engine.plan_morsels(
+        table, standby.query_scn.value, predicates, columns
+    )
+    pool = QueryWorkerPool(
+        deployment.sched, n_workers=2, parallel_backend=backend
+    )
+    try:
+        pending = pool.submit(morsels)
+        if not pending.done:
+            ok = deployment.sched.run_until_condition(
+                lambda: pending.done, max_time=120.0
+            )
+            assert ok, "scan never completed"
+    finally:
+        pool.shutdown()
+    return pending
+
+
+class TestProcessEqualsSerial:
+    def test_full_scan_identical(self, deployment_with_updates):
+        deployment, __ = deployment_with_updates
+        serial = deployment.standby.query("T")
+        pending = run_backend(deployment, "process")
+        assert pending.done  # synchronous: no sim stepping needed
+        assert pending.result.rows == serial.rows
+        assert_stats_match(pending.result.stats, serial.stats)
+        assert serial.stats.fallback_rows > 0  # reconcile actually ran
+
+    def test_predicates_and_projection_identical(
+        self, deployment_with_updates
+    ):
+        deployment, __ = deployment_with_updates
+        predicates = [Predicate.between("n1", 50.0, 100000.0)]
+        columns = ["id", "c1", "n1"]
+        serial = deployment.standby.query("T", predicates, columns)
+        pending = run_backend(
+            deployment, "process", predicates=predicates, columns=columns
+        )
+        assert pending.result.rows == serial.rows
+        assert_stats_match(pending.result.stats, serial.stats)
+
+    def test_matches_sim_backend(self, deployment_with_updates):
+        deployment, __ = deployment_with_updates
+        predicates = [Predicate.eq("c1", "val-3")]
+        sim = run_backend(deployment, "sim", predicates=predicates)
+        process = run_backend(deployment, "process", predicates=predicates)
+        assert process.result.rows == sim.result.rows
+        assert process.result.stats == sim.result.stats
+
+    def test_records_wall_clock(self, deployment_with_updates):
+        deployment, __ = deployment_with_updates
+        standby = deployment.standby
+        table = standby.catalog.table("T")
+        morsels = standby.scan_engine.plan_morsels(
+            table, standby.query_scn.value
+        )
+        pool = QueryWorkerPool(
+            deployment.sched, n_workers=2, parallel_backend="process"
+        )
+        try:
+            pool.submit(morsels)
+            assert pool.last_wall_seconds is not None
+            assert pool.last_wall_seconds > 0.0
+        finally:
+            pool.shutdown()
+
+
+class TestBackendSelection:
+    def test_sim_is_default(self, deployment_with_updates):
+        deployment, __ = deployment_with_updates
+        pool = QueryWorkerPool(deployment.sched, n_workers=2)
+        try:
+            assert pool.parallel_backend == "sim"
+            assert pool._process_backend is None
+            assert len(pool.workers) == 2
+        finally:
+            pool.shutdown()
+
+    def test_unknown_backend_rejected(self, deployment_with_updates):
+        deployment, __ = deployment_with_updates
+        with pytest.raises(ValueError):
+            QueryWorkerPool(
+                deployment.sched, n_workers=2, parallel_backend="thread"
+            )
+
+    def test_process_pool_has_no_sim_actors(self, deployment_with_updates):
+        deployment, __ = deployment_with_updates
+        before = set(deployment.sched.actors)
+        pool = QueryWorkerPool(
+            deployment.sched, n_workers=2, parallel_backend="process"
+        )
+        try:
+            assert pool.workers == []
+            assert set(deployment.sched.actors) == before
+        finally:
+            pool.shutdown()
+
+    def test_deployment_passthrough(self, deployment_with_updates):
+        deployment, __ = deployment_with_updates
+        service = deployment.start_query_service(
+            n_workers=2, parallel_backend="process"
+        )
+        try:
+            assert service.pool.parallel_backend == "process"
+            serial = deployment.standby.query("T")
+            handle = service.submit("T")
+            assert handle.done  # process submits complete synchronously
+            assert handle.result.rows == serial.rows
+        finally:
+            service.shutdown()
