@@ -27,7 +27,7 @@ from repro import obs
 from repro.chaos import sites
 from repro.common.ids import WorkerId
 from repro.common.scn import NULL_SCN, SCN
-from repro.redo.records import ChangeVector, RedoRecord
+from repro.redo.records import ChangeVector, CVOp, RedoRecord
 from repro.sim.cpu import CpuNode
 from repro.sim.scheduler import Actor, Scheduler
 
@@ -53,7 +53,9 @@ class CVApplier(Protocol):
 #: on a latch miss (the worker must retry the same CV).
 Sniffer = Callable[[ChangeVector, SCN, WorkerId, object], bool]
 
-#: Flush helper signature: (worker_id, batch) -> nodes flushed this call.
+#: Flush helper signature: (worker_id, batch) -> nodes flushed this call;
+#: -1 when a worklink exists but draining is blocked (the worker is
+#: *waiting* on the flush, accounted separately from flush work).
 FlushHelper = Callable[[WorkerId, int], int]
 
 
@@ -84,8 +86,115 @@ class ApplyDistributor:
                 self.distributed_through = record.scn
         return routed
 
+    def note_applied(self, cv: ChangeVector) -> None:
+        """Hook invoked by a worker after applying one CV (dependency
+        bookkeeping for subclasses; the static hash scheme needs none)."""
+
     def pending(self) -> int:
         return sum(len(q) for q in self.queues)
+
+
+class DependencyAwareDistributor(ApplyDistributor):
+    """Routes CVs along a lightweight transaction dependency graph.
+
+    Static DBA hashing (the base class) guarantees per-block SCN order by
+    construction, but pays for it twice on cross-partition transactions:
+    a data CV whose create-table marker hashed to another worker blocks in
+    :class:`ApplyStall` retries until that worker catches up, and load
+    imbalance leaves queues idle while one hash bucket backs up.
+
+    This distributor keeps the same correctness invariant -- all CVs for
+    one DBA apply in SCN order -- by tracking *writes-to-DBA edges*
+    explicitly: a CV for a block with in-flight (queued, unapplied) CVs
+    chains onto the owning worker's queue; an unencumbered CV goes to the
+    least-loaded queue.  Object-creation edges are tracked the same way:
+    while a create-table marker is queued, every CV touching its objects
+    follows it onto the same worker, so the dictionary dependency that
+    triggers ``ApplyStall`` under hashing is ordered away entirely.
+
+    Workers report completions through :meth:`note_applied`; entries drop
+    from the edge maps when their in-flight count reaches zero.
+    """
+
+    chained_cvs = obs.view("_chained_cvs")
+
+    def __init__(self, n_workers: int) -> None:
+        super().__init__(n_workers)
+        #: DBA -> (owning worker, in-flight CV count).
+        self._dba_owner: dict[int, list] = {}
+        #: object_id -> (owning worker, in-flight creation-marker count).
+        self._object_owner: dict[int, list] = {}
+        self._chained_cvs = obs.counter("adg.distributor.chained_cvs")
+
+    def _least_loaded(self) -> WorkerId:
+        best = 0
+        best_len = len(self.queues[0])
+        for i in range(1, self.n_workers):
+            length = len(self.queues[i])
+            if length < best_len:
+                best, best_len = i, length
+        return best
+
+    def worker_for(self, cv: ChangeVector) -> WorkerId:
+        entry = self._dba_owner.get(cv.dba)
+        if entry is not None:
+            return entry[0]
+        if cv.is_data or cv.op is CVOp.TRUNCATE:
+            obj = self._object_owner.get(cv.object_id)
+            if obj is not None:
+                return obj[0]
+        return self._least_loaded()
+
+    def distribute(self, records: list[RedoRecord]) -> int:
+        routed = 0
+        for record in records:
+            for cv in record.cvs:
+                worker = self._route(cv)
+                self.queues[worker].append((record.scn, cv))
+                routed += 1
+            if record.scn > self.distributed_through:
+                self.distributed_through = record.scn
+        return routed
+
+    def _route(self, cv: ChangeVector) -> WorkerId:
+        chained = True
+        entry = self._dba_owner.get(cv.dba)
+        if entry is None:
+            worker = None
+            if cv.is_data or cv.op is CVOp.TRUNCATE:
+                obj = self._object_owner.get(cv.object_id)
+                if obj is not None:
+                    worker = obj[0]
+            if worker is None:
+                worker = self._least_loaded()
+                chained = False
+            entry = [worker, 0]
+            self._dba_owner[cv.dba] = entry
+        entry[1] += 1
+        if chained:
+            self._chained_cvs.inc()
+        if cv.op is CVOp.DDL_MARKER and cv.payload.kind == "create_table":
+            for object_id in cv.payload.object_ids:
+                obj = self._object_owner.get(object_id)
+                if obj is None:
+                    self._object_owner[object_id] = [entry[0], 1]
+                else:
+                    obj[1] += 1
+        return entry[0]
+
+    def note_applied(self, cv: ChangeVector) -> None:
+        entry = self._dba_owner.get(cv.dba)
+        if entry is not None:
+            entry[1] -= 1
+            if entry[1] <= 0:
+                del self._dba_owner[cv.dba]
+        if cv.op is CVOp.DDL_MARKER and cv.payload.kind == "create_table":
+            for object_id in cv.payload.object_ids:
+                obj = self._object_owner.get(object_id)
+                if obj is not None:
+                    obj[1] -= 1
+                    if obj[1] <= 0:
+                        del self._object_owner[object_id]
 
 
 class RecoveryWorker(Actor):
@@ -134,6 +243,15 @@ class RecoveryWorker(Actor):
         self._chaos_stalls = obs.counter(
             "adg.worker.chaos_stalls", worker=worker_id
         )
+        #: Simulated seconds spent *blocked* on the cooperative flush
+        #: helper (worklink present but drain stalled) -- wait time, kept
+        #: out of the coordinator's publish-latency accounting.
+        self._coop_flush_wait = obs.histogram(
+            "adg.apply.coop_flush_wait", worker=worker_id
+        )
+        #: Sim time when the current blocked-on-flush episode began, or
+        #: None when not blocked.
+        self._flush_blocked_since: Optional[float] = None
         self._chaos = sites.declare("adg.apply_worker", owner=self)
         #: SCN of the last CV this worker applied.
         self.applied_scn: SCN = NULL_SCN
@@ -165,11 +283,23 @@ class RecoveryWorker(Actor):
                 return self.cost_per_cv * self.batch
         cost = 0.0
         # 1. cooperative invalidation flush (paper, III-D-2): help drain
-        #    the worklink before continuing redo apply.
+        #    the worklink before continuing redo apply.  -1 = worklink
+        #    exists but the drain is blocked: the worker is waiting, not
+        #    working, so the episode lands in coop_flush_wait rather than
+        #    being charged to apply/publish latency.
         if self.flush_helper is not None:
             flushed = self.flush_helper(self.worker_id, self.flush_batch)
-            if flushed:
-                cost += self.cost_per_cv * flushed
+            if flushed < 0:
+                if self._flush_blocked_since is None:
+                    self._flush_blocked_since = sched.now
+            else:
+                if self._flush_blocked_since is not None:
+                    self._coop_flush_wait.observe(
+                        sched.now - self._flush_blocked_since
+                    )
+                    self._flush_blocked_since = None
+                if flushed:
+                    cost += self.cost_per_cv * flushed
 
         # 2. redo apply in SCN order from this worker's queue.
         queue = self.distributor.queues[self.worker_id]
@@ -192,6 +322,7 @@ class RecoveryWorker(Actor):
                 break
             self._head_sniffed = False
             queue.popleft()
+            self.distributor.note_applied(cv)
             self.applied_scn = scn
             applied += 1
             if tracer is not None:

@@ -125,8 +125,13 @@ class RecoveryCoordinator(Actor):
         )
         self._advance_started_at = 0.0
         #: When the in-flight publication first got postponed (chaos
-        #: stall or quiesce-lock miss), or None while unblocked.
+        #: stall, blocked worklink drain or quiesce-lock miss), or None
+        #: while unblocked.
         self._stalled_since: Optional[float] = None
+        #: Blocked time already accumulated by *closed* episodes of the
+        #: in-flight advancement (a worklink drain can block and unblock
+        #: several times before publication).
+        self._stall_accum = 0.0
         self._chaos = sites.declare("adg.queryscn_publish", owner=self)
 
     # ------------------------------------------------------------------
@@ -175,6 +180,14 @@ class RecoveryCoordinator(Actor):
         if self.advance_protocol is not None:
             flushed = self.advance_protocol.coordinator_flush(self.flush_batch)
             cost += FLUSH_COST_PER_NODE * max(flushed, 1)
+            if flushed < 0:
+                # worklink exists but draining is blocked: waiting, not
+                # flushing -- the episode is excluded from adjusted latency
+                if self._stalled_since is None:
+                    self._stalled_since = sched.now
+            elif self._stalled_since is not None:
+                self._stall_accum += sched.now - self._stalled_since
+                self._stalled_since = None
             if not self.advance_protocol.is_advance_complete():
                 return cost
         # Invalidation flush done: enter the quiesce period and publish.
@@ -201,13 +214,15 @@ class RecoveryCoordinator(Actor):
             self.advance_protocol.finish_advance(target)
         self._advancements.inc()
         latency = sched.now - self._advance_started_at
-        stalled = 0.0
+        # time this advancement spent *blocked* (injected stall, blocked
+        # worklink drain or a held quiesce lock) rather than flushing and
+        # publishing -- keep the raw total intact but track it so the
+        # adjusted latency reflects the protocol's own cost (the Fig. 10
+        # quantity).
+        stalled = self._stall_accum
+        self._stall_accum = 0.0
         if self._stalled_since is not None:
-            # time this advancement spent *blocked* (injected stall or a
-            # held quiesce lock) rather than flushing/publishing -- keep
-            # the raw total intact but track it so the adjusted latency
-            # reflects the protocol's own cost (the Fig. 10 quantity).
-            stalled = sched.now - self._stalled_since
+            stalled += sched.now - self._stalled_since
             self._stalled_since = None
         self._publish_latency_total.inc(latency)
         self._publish_stall_time_total.inc(stalled)
@@ -215,6 +230,19 @@ class RecoveryCoordinator(Actor):
         self._adjusted_latency_hist.observe(latency - stalled)
         self._advancing_to = None
         return cost + COORDINATION_COST
+
+    # ------------------------------------------------------------------
+    def reset_advance(self) -> None:
+        """Abandon an in-flight advancement (standby instance restart).
+
+        The restart cleared the flush protocol's commit table and
+        worklink, so publishing the pre-restart target would skip every
+        invalidation the redo tail re-mines below it -- the coordinator
+        must re-derive a fresh consistency point from scratch instead.
+        """
+        self._advancing_to = None
+        self._stalled_since = None
+        self._stall_accum = 0.0
 
     @property
     def mean_publish_latency(self) -> float:

@@ -16,6 +16,8 @@ The roster (each maps to a failure mode discussed in the paper):
   cooperative invalidation flush is draining a worklink;
 * ``publish_stall``   -- QuerySCN publication held back repeatedly;
 * ``restart_storm``   -- standby instance bounces under load (III-E);
+* ``checkpoint_crash`` -- instant-restart capture rounds stalled and
+  dropped while the standby bounces through them;
 * ``rac_chaos``       -- SIRA cluster with interconnect delay,
   duplication and a partition window (III-F);
 * ``failover_mid_flush`` -- role transition begins while a worklink is
@@ -267,6 +269,54 @@ class RestartStorm(Scenario):
         return FaultPlan().at(
             0.5, F.Repeat(lambda: F.RestartStandby(), times=3, interval=0.6)
         )
+
+
+class CheckpointCrash(Scenario):
+    name = "checkpoint_crash"
+    description = (
+        "instant-restart checkpoints under fire: capture rounds are "
+        "stalled and dropped mid-round while the standby bounces "
+        "repeatedly -- partially checkpointed state must restore warm "
+        "(or fall back cold) without ever serving a stale row"
+    )
+    bursts = 12
+
+    def build(self, seed: int) -> "Deployment":
+        deployment = super().build(seed)
+        self._checkpoint_store = deployment.enable_restart_checkpoints()
+        # arm the writer with at least one capture round before the storm
+        deployment.run(0.5)
+        return deployment
+
+    def plan(self, seed: int) -> FaultPlan:
+        return (
+            FaultPlan()
+            # a crash window that keeps interrupting capture rounds...
+            .at(0.3, F.Repeat(
+                lambda: F.Stall("restart.checkpoint", count=3),
+                times=4, interval=0.4,
+            ))
+            .at(0.45, F.Drop("restart.checkpoint", count=2))
+            # ...while the instance bounces through them
+            .at(0.5, F.Repeat(
+                lambda: F.RestartStandby(), times=3, interval=0.6,
+            ))
+        )
+
+    def stats(self, ctx: ChaosContext) -> dict[str, int]:
+        stats = super().stats(ctx)
+        standby = ctx.deployment.standby
+        report = standby.last_restart_report
+        stats.update({
+            "checkpoint_captures": self._checkpoint_store.captures,
+            "checkpoint_discards": self._checkpoint_store.discards,
+            "instant_restarts": standby.instant_restarts,
+            "last_restart_units_restored": (
+                report.units_restored if report is not None else 0
+            ),
+            "tail_commits_skipped": standby.miner.tail_commits_skipped,
+        })
+        return stats
 
 
 class RACChaos(Scenario):
@@ -737,6 +787,7 @@ SCENARIOS: dict[str, type[Scenario]] = {
         WorkerCrashFlush,
         PublishStall,
         RestartStorm,
+        CheckpointCrash,
         RACChaos,
         FailoverMidFlush,
         StandbyLossMidWave,

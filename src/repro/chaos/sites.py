@@ -49,6 +49,7 @@ KNOWN_SITES = (
     "flush.worklink",      # InvalidationFlushComponent: per flush call
     "db.failover",         # failover(): role-transition milestones
     "query.pool",          # QueryWorkerPool: per dequeued morsel
+    "restart.checkpoint",  # CheckpointWriter: per object capture
 )
 
 

@@ -69,6 +69,12 @@ class ApplyConfig:
     # Whether recovery workers participate in invalidation flush at all
     # (ablation: coordinator-only flush).
     cooperative_flush: bool = True
+    # CV routing policy: "hash" is the paper's static DBA hashing; with
+    # "dependency" the distributor tracks writes-to-DBA edges and routes
+    # dependent CVs (same block, or data CVs behind a still-queued
+    # create-table marker) to the owning worker, eliminating cross-worker
+    # barrier stalls on cross-partition transactions.
+    routing: str = "hash"
 
 
 @dataclass(slots=True)
@@ -84,6 +90,13 @@ class JournalConfig:
     # If True the primary annotates commit records with the "modified an
     # IMCS-enabled object" flag (paper, III-E: specialized redo generation).
     specialized_commit_redo: bool = True
+    # Adaptive record granularity: once a worker has buffered this many
+    # slot-level invalidation records for one block of a transaction, the
+    # block's records collapse into a single whole-block (command-style)
+    # marker and further slot records for it are dropped -- hot blocks pay
+    # O(1) journal space while cold ones keep row granularity.  None
+    # disables collapsing (every record stays physical).
+    record_collapse_threshold: int | None = None
 
 
 @dataclass(slots=True)
@@ -101,6 +114,22 @@ class RACConfig:
 
 
 @dataclass(slots=True)
+class RestartConfig:
+    """Population checkpoints and the instant-restart path (repro.restart)."""
+
+    # Minimum simulated seconds between checkpoint captures of one object.
+    checkpoint_interval: float = 0.2
+    # Checkpoint versions kept per object (older QuerySCNs are pruned).
+    keep_versions: int = 2
+    # Simulated CPU seconds to reinstall one checkpointed row at restart.
+    # Restoring decodes nothing and reads no blocks through Consistent
+    # Read, so it is an order of magnitude cheaper than population.
+    restore_cost_per_row: float = 2e-7
+    # Simulated CPU seconds to re-mine one redo-tail CV at restart.
+    remine_cost_per_cv: float = 5e-7
+
+
+@dataclass(slots=True)
 class SystemConfig:
     """Top-level configuration for a primary/standby deployment."""
 
@@ -109,6 +138,7 @@ class SystemConfig:
     apply: ApplyConfig = field(default_factory=ApplyConfig)
     journal: JournalConfig = field(default_factory=JournalConfig)
     rac: RACConfig = field(default_factory=RACConfig)
+    restart: RestartConfig = field(default_factory=RestartConfig)
     # Simulated one-way redo shipping latency (primary -> standby), seconds.
     ship_latency: float = 0.002
     # Random seed for every stochastic choice in the simulation.

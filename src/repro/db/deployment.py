@@ -166,6 +166,49 @@ class Deployment:
         return self.query_service
 
     # ------------------------------------------------------------------
+    # instant restart (repro.restart)
+    # ------------------------------------------------------------------
+    def enable_restart_checkpoints(self):
+        """Arm instant restart: schedule a background checkpoint writer
+        and give the standby a redo-tail fetch over the primary's logs
+        (the same never-recycled archive the FAL path reads).
+
+        Returns the :class:`~repro.restart.checkpoint.CheckpointStore`.
+        """
+        from repro.restart.checkpoint import CheckpointStore, CheckpointWriter
+
+        restart_cfg = self.config.restart
+        store = CheckpointStore(keep_versions=restart_cfg.keep_versions)
+        primary_logs = self.primary.redo_logs
+
+        def redo_tail_fetch(lo_scn, hi_scn):
+            tail = []
+            for log in primary_logs:
+                for record in log.records_from(0):
+                    if record.scn > hi_scn:
+                        break
+                    if record.scn >= lo_scn:
+                        tail.append(record)
+            tail.sort(key=lambda record: record.scn)
+            return tail
+
+        self.standby.enable_restart_checkpoints(store, redo_tail_fetch)
+        self.sched.add_actor(
+            CheckpointWriter(
+                self.standby,
+                store,
+                interval=restart_cfg.checkpoint_interval,
+                node=self.standby.node,
+            )
+        )
+        return store
+
+    def restart_standby(self, cold: bool = False):
+        """Bounce the standby and return its restart report."""
+        self.standby.restart(cold=cold)
+        return self.standby.last_restart_report
+
+    # ------------------------------------------------------------------
     # schema + in-memory management
     # ------------------------------------------------------------------
     def create_table(self, table_def: TableDef) -> Table:

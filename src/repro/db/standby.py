@@ -29,7 +29,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.adg.apply import ApplyDistributor, RecoveryWorker
+from repro.adg.apply import (
+    ApplyDistributor,
+    DependencyAwareDistributor,
+    RecoveryWorker,
+)
 from repro.adg.coordinator import RecoveryCoordinator
 from repro.adg.merger import LogMerger
 from repro.adg.queryscn import QuerySCNPublisher
@@ -42,6 +46,8 @@ from repro.dbim_adg.flush import InvalidationFlushComponent
 from repro.dbim_adg.journal import IMADGJournal
 from repro.dbim_adg.mining import MiningComponent
 from repro.imcs.population import PopulationEngine, PopulationWorker
+from repro.obs.restart import record_restart
+from repro.restart.replay import RestartReport, instant_restart
 from repro.imcs.scan import Predicate, ScanEngine, ScanResult
 from repro.imcs.store import InMemoryColumnStore
 from repro.redo.records import ChangeVector, DDLMarkerPayload
@@ -84,7 +90,10 @@ class StandbyDatabase(InMemoryFeaturesMixin):
         apply_cfg = self.config.apply
         self.receiver = RedoReceiver()
         self.merger = LogMerger(self.receiver, node=self.node)
-        self.distributor = ApplyDistributor(apply_cfg.n_workers)
+        if apply_cfg.routing == "dependency":
+            self.distributor = DependencyAwareDistributor(apply_cfg.n_workers)
+        else:
+            self.distributor = ApplyDistributor(apply_cfg.n_workers)
         self.quiesce_lock = QuiesceLock()
         self.query_scn = QuerySCNPublisher()
 
@@ -92,7 +101,8 @@ class StandbyDatabase(InMemoryFeaturesMixin):
         self.imcs = InMemoryColumnStore(self.config.imcs.pool_size_bytes)
         journal_cfg = self.config.journal
         self.journal = IMADGJournal(
-            max(journal_cfg.n_buckets, 4 * apply_cfg.n_workers)
+            max(journal_cfg.n_buckets, 4 * apply_cfg.n_workers),
+            collapse_threshold=journal_cfg.record_collapse_threshold,
         )
         self.commit_table = IMADGCommitTable(journal_cfg.commit_table_partitions)
         self.ddl_table = DDLInformationTable()
@@ -150,6 +160,14 @@ class StandbyDatabase(InMemoryFeaturesMixin):
         self.scan_engine = ScanEngine(self.imcs, self.txn_table)
         self._init_features()
         self.restarts = 0
+        self.instant_restarts = 0
+        # --- instant restart (opt-in, see enable_restart_checkpoints) ----
+        #: Population checkpoint store, or None for cold restarts only.
+        self.checkpoint_store = None
+        #: (lo_scn, hi_scn) -> redo records, for tail replay at restart.
+        self.redo_tail_fetch = None
+        #: Report of the most recent restart (None before the first).
+        self.last_restart_report = None
 
     def _query_snapshot(self) -> SCN:
         return self.query_scn.value
@@ -278,9 +296,23 @@ class StandbyDatabase(InMemoryFeaturesMixin):
         return min(values) if values else 0
 
     # ------------------------------------------------------------------
-    # instance restart (paper, III-E)
+    # instance restart (paper, III-E / instant restart, repro.restart)
     # ------------------------------------------------------------------
-    def restart(self) -> None:
+    def enable_restart_checkpoints(
+        self, store, redo_tail_fetch
+    ) -> None:
+        """Arm the instant-restart path (:mod:`repro.restart`).
+
+        ``store`` is a :class:`~repro.restart.checkpoint.CheckpointStore`
+        (registered as an invalidation listener so coarse invalidations
+        and DDL drops discard superseded checkpoints); ``redo_tail_fetch``
+        resolves ``(lo_scn, hi_scn)`` to the redo records of the tail.
+        """
+        self.checkpoint_store = store
+        self.redo_tail_fetch = redo_tail_fetch
+        self.flush.add_invalidation_listener(store)
+
+    def restart(self, cold: bool = False) -> None:
         """Bounce the instance: every DBIM-on-ADG structure is volatile.
 
         The row store, the recovered transaction table (rebuilt from redo
@@ -289,7 +321,16 @@ class StandbyDatabase(InMemoryFeaturesMixin):
         DDL information table, every IMCU and all queued population work
         are lost.  Redo that was mined-but-not-flushed before the restart
         is what the section III-E coarse-invalidation protocol exists for.
+
+        With :meth:`enable_restart_checkpoints` armed (and ``cold=False``)
+        the instant path rebuilds a warm IMCS from the latest population
+        checkpoints and re-mines only the redo tail instead of coarse-
+        invalidate-and-repopulate; see :mod:`repro.restart.replay`.
         """
+        # An in-flight advancement's target was computed against the
+        # pre-restart commit table; publishing it after the clear would
+        # skip every invalidation the tail replay re-mines below it.
+        self.coordinator.reset_advance()
         self.journal.clear()
         self.commit_table.clear()
         self.ddl_table.clear()
@@ -298,5 +339,20 @@ class StandbyDatabase(InMemoryFeaturesMixin):
         for segment in list(self.imcs.segments()):
             self.imcs.drop_units(segment.object_id)
             segment.pending.clear()
+        store = self.checkpoint_store
+        if cold or store is None or self.redo_tail_fetch is None:
+            if store is not None:
+                # checkpoints never outlive the incarnation that captured
+                # them: the cleared journal breaks their tail-floor proof
+                store.clear()
+            report = RestartReport(mode="cold")
+        else:
+            report = instant_restart(
+                self, store, self.redo_tail_fetch, self.config.restart
+            )
+        self.last_restart_report = report
+        record_restart(report)
+        if report.mode == "instant":
+            self.instant_restarts += 1
         self.population.reset()
         self.restarts += 1

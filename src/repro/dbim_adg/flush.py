@@ -209,16 +209,28 @@ class InvalidationFlushComponent:
     # cooperative flush hook for recovery workers
     # ------------------------------------------------------------------
     def worker_flush(self, worker_id: WorkerId, batch: int) -> int:
-        """Installed as the recovery workers' flush helper."""
+        """Installed as the recovery workers' flush helper.
+
+        Returns nodes flushed, or -1 when a worklink exists but draining
+        is blocked -- the caller is genuinely *waiting* on the flush, not
+        doing flush work, and accounts the time separately (the
+        ``adg.apply.coop_flush_wait`` histogram).
+        """
         if not self.cooperative:
             return 0
         flushed = self._flush_nodes(batch, by_worker=True)
-        if flushed:
+        if flushed > 0:
             self._nodes_flushed_by_workers.inc(flushed)
         return flushed
 
     # ------------------------------------------------------------------
     def _flush_nodes(self, batch: int, by_worker: bool) -> int:
+        """Drain up to ``batch`` worklink nodes.
+
+        Returns the number flushed; 0 when there is nothing to drain; -1
+        when the worklink has nodes but draining is blocked (an injected
+        stall), so callers can distinguish idle from *blocked* time.
+        """
         worklink = self.worklink
         if worklink is None or not worklink.nodes:
             return 0
@@ -230,7 +242,7 @@ class InvalidationFlushComponent:
             if decision.action is sites.Action.STALL:
                 # worklink draining held back; the caller retries later
                 self._chaos_stalls.inc()
-                return 0
+                return -1
         flushed = 0
         while worklink.nodes and flushed < batch:
             node = worklink.nodes.popleft()

@@ -59,9 +59,61 @@ class AnchorNode:
     worker_records: dict[WorkerId, list[InvalidationRecord]] = field(
         default_factory=dict
     )
+    #: SCN of the earliest CV mined for this transaction (0 = none yet).
+    #: The checkpoint store records the minimum over live anchors as the
+    #: redo-tail replay floor: everything an instant restart must re-mine
+    #: for this transaction lies at or beyond it.
+    first_scn: SCN = 0
+    #: Adaptive record granularity (None = keep every physical record).
+    #: Once one worker buffers this many slot-level records for a block,
+    #: they collapse into a single whole-block command-style marker.
+    collapse_threshold: int | None = None
+    #: Per-(worker, object, dba) slot-record counts; dbas collapsed to a
+    #: whole-block marker map to -1 (further slot records are dropped).
+    _dba_counts: dict[tuple, int] = field(default_factory=dict)
+    records_collapsed: int = 0
+
+    def note_scn(self, scn: SCN) -> None:
+        if self.first_scn == 0 or scn < self.first_scn:
+            self.first_scn = scn
 
     def add(self, worker_id: WorkerId, record: InvalidationRecord) -> None:
-        self.worker_records.setdefault(worker_id, []).append(record)
+        self.note_scn(record.scn)
+        records = self.worker_records.setdefault(worker_id, [])
+        threshold = self.collapse_threshold
+        if threshold is None or not record.slots:
+            records.append(record)
+            return
+        key = (worker_id, record.object_id, record.dba)
+        count = self._dba_counts.get(key, 0)
+        if count < 0:
+            # already collapsed to a whole-block marker: invalidation is
+            # monotone, so the slot record is subsumed
+            self.records_collapsed += 1
+            return
+        count += 1
+        if count < threshold:
+            self._dba_counts[key] = count
+            records.append(record)
+            return
+        # hot block: replace its buffered slot records with one
+        # command-style whole-block marker (slots=() means "all")
+        self._dba_counts[key] = -1
+        kept = [
+            r for r in records
+            if not (r.object_id == record.object_id and r.dba == record.dba)
+        ]
+        self.records_collapsed += len(records) - len(kept) + 1
+        kept.append(
+            InvalidationRecord(
+                object_id=record.object_id,
+                dba=record.dba,
+                slots=(),
+                tenant=record.tenant,
+                scn=record.scn,
+            )
+        )
+        self.worker_records[worker_id] = kept
 
     def all_records(self) -> Iterator[InvalidationRecord]:
         for records in self.worker_records.values():
@@ -79,13 +131,20 @@ class IMADGJournal:
 
     latch_breaks = obs.view("_latch_breaks")
 
-    def __init__(self, n_buckets: int = 64) -> None:
+    def __init__(
+        self,
+        n_buckets: int = 64,
+        collapse_threshold: int | None = None,
+    ) -> None:
         if n_buckets < 1:
             raise ValueError("journal needs at least one bucket")
         self._buckets: list[dict[TransactionId, AnchorNode]] = [
             {} for __ in range(n_buckets)
         ]
         self.latches = BucketLatchSet(n_buckets, name="im-adg-journal")
+        #: Adaptive record granularity, inherited by every anchor (see
+        #: :class:`AnchorNode`); None keeps all records physical.
+        self.collapse_threshold = collapse_threshold
         self._anchors_created = obs.counter("dbim.journal.anchors_created")
         self._latch_breaks = obs.counter("dbim.journal.latch_breaks")
 
@@ -105,7 +164,10 @@ class IMADGJournal:
         try:
             anchor = self._buckets[index].get(xid)
             if anchor is None:
-                anchor = AnchorNode(xid=xid, tenant=tenant)
+                anchor = AnchorNode(
+                    xid=xid, tenant=tenant,
+                    collapse_threshold=self.collapse_threshold,
+                )
                 self._buckets[index][xid] = anchor
                 self._anchors_created.inc()
             return anchor
@@ -181,6 +243,23 @@ class IMADGJournal:
         acquired, anchor = self.get(xid, owner)
         assert acquired
         return anchor
+
+    def min_first_scn(self) -> SCN:
+        """Earliest first-CV SCN over every live anchor (0 = no anchors).
+
+        Read latch-free: the checkpoint writer runs inside a single
+        scheduler step (under the shared quiesce lock), and every journal
+        critical section is likewise contained within one step, so no
+        concurrent mutation can be in flight.
+        """
+        floor: SCN = 0
+        for bucket in self._buckets:
+            for anchor in bucket.values():
+                if anchor.first_scn == 0:
+                    continue
+                if floor == 0 or anchor.first_scn < floor:
+                    floor = anchor.first_scn
+        return floor
 
     def clear(self) -> None:
         """Drop all state (standby instance restart: the journal has no

@@ -51,6 +51,8 @@ class MiningComponent:
     ddl_markers_mined = obs.view("_ddl_markers_mined")
     latch_misses = obs.view("_latch_misses")
     coarse_nodes_created = obs.view("_coarse_nodes_created")
+    #: Missing-begin commits skipped during instant-restart tail replay.
+    tail_commits_skipped = obs.view("_tail_commits_skipped")
 
     def __init__(
         self,
@@ -67,6 +69,15 @@ class MiningComponent:
         #: MIRA to garbage-collect the transaction's anchors on *other*
         #: apply instances, which never see the abort control CV).
         self.on_abort: Optional[Callable[[TransactionId, SCN], None]] = None
+        #: Instant-restart tail replay (:mod:`repro.restart`): while set,
+        #: a mined commit whose transaction has no 'begin' is *skipped*
+        #: instead of triggering the III-E coarse invalidation.  The
+        #: checkpoint's tail floor proves such a transaction's begin lies
+        #: below the replay window, which in turn proves its invalidations
+        #: were flushed into the checkpointed SMU masks before capture --
+        #: the knowledge whose absence is the whole reason the coarse path
+        #: exists.
+        self.tail_mode = False
         # statistics
         self._obs = obs.current()
         self._data_records_mined = obs.counter("dbim.miner.data_records")
@@ -76,6 +87,9 @@ class MiningComponent:
         self._ddl_markers_mined = obs.counter("dbim.miner.ddl_markers")
         self._latch_misses = obs.counter("dbim.miner.latch_misses")
         self._coarse_nodes_created = obs.counter("dbim.miner.coarse_nodes")
+        self._tail_commits_skipped = obs.counter(
+            "dbim.miner.tail_commits_skipped"
+        )
 
     # ------------------------------------------------------------------
     def sniff(
@@ -118,6 +132,7 @@ class MiningComponent:
                 self._latch_misses.inc()
                 return False
             anchor.has_begin = True
+            anchor.note_scn(scn)
             self._control_records_mined.inc()
             return True
         if op is CVOp.TXN_PREPARE:
@@ -126,6 +141,7 @@ class MiningComponent:
                 self._latch_misses.inc()
                 return False
             anchor.prepared = True
+            anchor.note_scn(scn)
             self._control_records_mined.inc()
             return True
         if op is CVOp.TXN_ABORT:
@@ -161,6 +177,15 @@ class MiningComponent:
             #   True/None  -> coarse invalidation of the tenant's IMCUs
             #                 (None = no specialized redo: be pessimistic).
             if payload.modifies_imcs is False:
+                self._control_records_mined.inc()
+                return True
+            if self.tail_mode:
+                # Instant-restart tail replay: a commit whose begin lies
+                # below the tail floor belongs to a transaction whose
+                # invalidations were flushed into the checkpointed masks
+                # before capture (see repro.restart.replay) -- skipping is
+                # exact, not pessimistic.
+                self._tail_commits_skipped.inc()
                 self._control_records_mined.inc()
                 return True
             node = CommitTableNode(

@@ -192,6 +192,62 @@ class SMU:
         return [rowids[i] for i in np.flatnonzero(~mask).tolist()]
 
     @property
+    def invalid_blocks(self) -> frozenset[DBA]:
+        """Blocks invalidated wholesale (read-only view)."""
+        return frozenset(self._invalid_blocks)
+
+    def invalid_row_slots(self) -> dict[DBA, list[int]]:
+        """*Row-level* invalidations only, grouped DBA -> slot list.
+
+        Unlike :meth:`invalid_slots_by_dba` this excludes block-level and
+        coarse invalidation, so a repopulation swap can carry the boolean
+        row mask verbatim and handle whole-block records separately (a
+        block invalidation must stay whole-block on the new unit: it may
+        cover slots the old IMCU never captured).
+        """
+        grouped: dict[DBA, list[int]] = {}
+        rowids = self.imcu.rowids
+        for position in np.flatnonzero(self._invalid_rows).tolist():
+            rowid = rowids[position]
+            grouped.setdefault(rowid.dba, []).append(rowid.slot)
+        return grouped
+
+    def snapshot_validity(
+        self,
+    ) -> tuple[np.ndarray, frozenset[DBA], bool, SCN]:
+        """Copy the validity state for a population checkpoint
+        (:mod:`repro.restart`): the exact inverse of
+        :meth:`restore_validity`."""
+        return (
+            self._invalid_rows.copy(),
+            frozenset(self._invalid_blocks),
+            self.fully_invalid,
+            self.last_invalidation_scn,
+        )
+
+    def restore_validity(
+        self,
+        invalid_rows: np.ndarray,
+        invalid_blocks,
+        fully_invalid: bool,
+        last_invalidation_scn: SCN,
+    ) -> None:
+        """Install checkpointed validity state on a freshly rebuilt unit
+        (instant restart, :mod:`repro.restart`).  The mask is copied; the
+        epoch is bumped so every cached derivation recomputes."""
+        if len(invalid_rows) != self.imcu.n_rows:
+            raise InvalidStateError(
+                f"checkpoint mask covers {len(invalid_rows)} rows, "
+                f"IMCU holds {self.imcu.n_rows}"
+            )
+        self._invalid_rows = np.array(invalid_rows, dtype=bool)
+        self._invalid_blocks = set(invalid_blocks)
+        self.fully_invalid = bool(fully_invalid)
+        if last_invalidation_scn > self.last_invalidation_scn:
+            self.last_invalidation_scn = last_invalidation_scn
+        self._epoch += 1
+
+    @property
     def invalid_count(self) -> int:
         if self.fully_invalid:
             return self.imcu.n_rows

@@ -197,18 +197,84 @@ class InMemoryColumnStore:
         swap; any invalidation the outgoing unit recorded after that
         snapshot describes a change the new data cannot contain.  The SMU
         tracks only a boolean mask plus the highest invalidation SCN, so
-        when that SCN exceeds the new snapshot every invalid row of the old
-        unit is conservatively re-marked in the new one -- extra invalid
-        rows merely fall back to the row store, while a missed one would
-        serve stale data forever.
+        when that SCN exceeds the new snapshot the old unit's mask is
+        carried over at its exact granularity -- row-level bits as one
+        batched :meth:`SMU.invalidate_slots` call, block-level records as
+        whole blocks (they may cover slots the old unit never captured).
+        Extra invalid rows merely fall back to the row store, while a
+        missed one would serve stale data forever.
+
+        Only a genuinely coarse outgoing unit (``fully_invalid``: the
+        per-row detail does not exist) coarse-invalidates the swapped-in
+        IMCU; everything else keeps the new population usable under
+        concurrent DML.
         """
         if old.last_invalidation_scn <= smu.imcu.snapshot_scn:
             return
-        for rowid in old.invalid_rowids():
-            if smu.imcu.covers_dba(rowid.dba):
-                self._apply_to_smu(
-                    smu, rowid.dba, (rowid.slot,), old.last_invalidation_scn
-                )
+        scn = old.last_invalidation_scn
+        if old.fully_invalid:
+            # No per-row detail survives a coarse invalidation: rows the
+            # new IMCU captured beyond the old snapshot could hide changes
+            # the coarse event covered, so the whole unit must go.
+            smu.invalidate_fully(scn)
+            return
+        for dba in old.invalid_blocks:
+            if smu.imcu.covers_dba(dba):
+                smu.invalidate_block(dba, scn)
+                self._rows_invalidated.inc()
+        batches = [
+            (dba, tuple(slots))
+            for dba, slots in old.invalid_row_slots().items()
+            if smu.imcu.covers_dba(dba)
+        ]
+        if batches:
+            self._rows_invalidated.inc(smu.invalidate_slots(batches, scn))
+
+    def restore_unit(
+        self,
+        imcu: IMCU,
+        invalid_rows,
+        invalid_blocks,
+        fully_invalid: bool,
+        last_invalidation_scn: SCN,
+    ) -> SMU:
+        """Install a checkpoint-rebuilt IMCU with checkpointed validity
+        (instant restart, :mod:`repro.restart`).
+
+        Like :meth:`register_unit`, but the SMU is seeded from the
+        checkpoint mask first, and *every* covered pending record is
+        applied on top -- a restored unit's data is as-of its original
+        population snapshot, so no parked record can be assumed already
+        reflected in it.
+        """
+        segment = self.segment(imcu.object_id)
+        smu = SMU(imcu)
+        smu.restore_validity(
+            invalid_rows, invalid_blocks, fully_invalid,
+            last_invalidation_scn,
+        )
+        still_pending = []
+        for record in segment.pending:
+            if not imcu.covers_dba(record.dba):
+                still_pending.append(record)
+                continue
+            self._apply_to_smu(smu, record.dba, record.slots, record.scn)
+        segment.pending = still_pending
+
+        replaced: dict[int, SMU] = {}
+        for dba in imcu.covered_dbas:
+            old = segment.dba_to_unit.get(dba)
+            if old is not None:
+                replaced.setdefault(id(old), old)
+            segment.dba_to_unit[dba] = smu
+        for old in replaced.values():
+            self._carry_invalidations(old, smu)
+        if replaced:
+            segment.units = [
+                unit for unit in segment.units if id(unit) not in replaced
+            ]
+        segment.units.append(smu)
+        return smu
 
     def drop_units(self, object_id: ObjectId) -> int:
         """Drop every unit of an object (DDL response).  Pinned SMUs are

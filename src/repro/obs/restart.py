@@ -1,0 +1,32 @@
+"""Restart-phase observability.
+
+A standby restart runs synchronously between scheduler steps, so unlike
+the redo lifecycle it cannot be traced by stamping records as they flow --
+instead each completed restart reports a :class:`RestartReport`
+(:mod:`repro.restart.replay`) and this module lands its phases in the
+metrics registry: one counter per mode, histograms for the modeled
+restore/re-mine durations and the tail geometry.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+
+
+def record_restart(report) -> None:
+    """Publish one restart's phases to the current metrics registry."""
+    obs.counter("restart.count", mode=report.mode).inc()
+    if report.mode != "instant":
+        return
+    obs.counter("restart.units_restored").inc(report.units_restored)
+    obs.counter("restart.rows_restored").inc(report.rows_restored)
+    obs.counter("restart.cvs_remined").inc(report.cvs_remined)
+    if report.coarse_fallback:
+        obs.counter("restart.coarse_fallbacks").inc()
+    obs.histogram("restart.restore_seconds").observe(report.restore_seconds)
+    obs.histogram("restart.remine_seconds").observe(report.remine_seconds)
+    obs.histogram("restart.modeled_seconds").observe(report.modeled_seconds)
+    if report.tail_end_scn >= report.tail_start_scn > 0:
+        obs.histogram("restart.tail_scns").observe(
+            report.tail_end_scn - report.tail_start_scn + 1
+        )

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Optional
@@ -200,7 +201,23 @@ class ProcessScanBackend:
 
     # ------------------------------------------------------------------
     def run_morsels(self, morsels: list[ScanMorsel]) -> list[ScanResult]:
-        """Run every morsel; columnar parts fan out across processes."""
+        """Run every morsel; columnar parts fan out across processes.
+
+        A worker process dying mid-scan surfaces as
+        :class:`BrokenProcessPool`; the whole backend is torn down before
+        re-raising -- the executor cannot be reused, and keeping the
+        arena's segments linked would orphan them in ``/dev/shm`` (the
+        parent would never reach :meth:`close` on this executor
+        generation).  A fresh executor and arena are built lazily on the
+        next call.
+        """
+        try:
+            return self._run_morsels(morsels)
+        except BrokenProcessPool:
+            self._teardown()
+            raise
+
+    def _run_morsels(self, morsels: list[ScanMorsel]) -> list[ScanResult]:
         executor = self._ensure_executor()
         # Pass 1 (submit): pin usable units, ship their columnar tasks.
         plan: list[tuple] = []  # ("parent",) | ("pruned", ctx) | ("task", ctx, fut)
@@ -265,6 +282,14 @@ class ProcessScanBackend:
                 ctx.smu.unpin()
 
     # ------------------------------------------------------------------
+    def _teardown(self) -> None:
+        """Emergency cleanup after a worker death: abandon the broken
+        executor without waiting and unlink every shared segment."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._arena.close()
+
     def close(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=True)

@@ -1,0 +1,129 @@
+"""Regression: a repopulation swap must carry invalidations at their
+original granularity.
+
+``_carry_invalidations`` used to collapse everything into
+``invalidate_fully`` whenever the outgoing unit's last invalidation SCN
+exceeded the incoming snapshot -- one stale *row* was enough to make the
+freshly populated IMCU unusable until the next repopulation pass, a
+population livelock under steady DML.  The fix carries row-level bits as
+rows and block-level records as blocks; only a genuinely coarse outgoing
+unit (``fully_invalid``) still coarse-invalidates the replacement.
+"""
+
+from __future__ import annotations
+
+from repro.imcs.imcu import IMCU
+from repro.imcs.store import InMemoryColumnStore
+
+from tests.imcs.conftest import load_rows
+from tests.imcs.test_store_population import drain, make_engine
+
+
+def populated_store(wide_table, txns, clock, n=24):
+    store = InMemoryColumnStore()
+    store.enable(wide_table)
+    __, rowids = load_rows(wide_table, txns, clock, n)
+    engine = make_engine(store, txns, clock)
+    engine.schedule_all()
+    drain(engine)
+    oid = wide_table.default_partition.object_id
+    return store, oid, rowids
+
+
+def replacement_for(wide_table, txns, old_unit, snapshot):
+    return IMCU.build(
+        wide_table.default_partition.segment, wide_table.schema,
+        wide_table.tenant, list(old_unit.imcu.covered_dbas),
+        snapshot, txns,
+    )
+
+
+class TestCarryGranularity:
+    def test_row_level_bits_carry_as_rows_not_coarse(
+        self, wide_table, txns, clock
+    ):
+        store, oid, rowids = populated_store(wide_table, txns, clock)
+        old_unit = store.unit_covering(oid, rowids[0].dba)
+        snapshot = clock.current
+        store.invalidate(
+            oid, rowids[0].dba, (rowids[0].slot,), scn=snapshot + 50
+        )
+        store.invalidate(
+            oid, rowids[1].dba, (rowids[1].slot,), scn=snapshot + 60
+        )
+        new_smu = store.register_unit(
+            replacement_for(wide_table, txns, old_unit, snapshot)
+        )
+        # exactly the two stale rows, not the whole unit
+        assert not new_smu.fully_invalid
+        assert new_smu.invalid_count == 2
+        carried = {
+            (dba, slot)
+            for dba, slots in new_smu.invalid_row_slots().items()
+            for slot in slots
+        }
+        assert carried == {
+            (rowids[0].dba, rowids[0].slot),
+            (rowids[1].dba, rowids[1].slot),
+        }
+        assert new_smu.last_invalidation_scn == snapshot + 60
+
+    def test_block_level_records_carry_as_blocks(
+        self, wide_table, txns, clock
+    ):
+        store, oid, rowids = populated_store(wide_table, txns, clock)
+        old_unit = store.unit_covering(oid, rowids[0].dba)
+        snapshot = clock.current
+        store.invalidate(oid, rowids[0].dba, (), scn=snapshot + 50)
+        new_smu = store.register_unit(
+            replacement_for(wide_table, txns, old_unit, snapshot)
+        )
+        assert not new_smu.fully_invalid
+        assert rowids[0].dba in new_smu.invalid_blocks
+        # the other blocks stay valid
+        assert any(
+            dba != rowids[0].dba for dba in new_smu.imcu.covered_dbas
+        )
+        assert len(new_smu.invalid_blocks) == 1
+
+    def test_coarse_outgoing_unit_still_coarse_invalidates(
+        self, wide_table, txns, clock
+    ):
+        store, oid, rowids = populated_store(wide_table, txns, clock)
+        old_unit = store.unit_covering(oid, rowids[0].dba)
+        snapshot = clock.current
+        old_unit.invalidate_fully(snapshot + 50)
+        new_smu = store.register_unit(
+            replacement_for(wide_table, txns, old_unit, snapshot)
+        )
+        # no per-row detail survived: the swap must not resurrect the unit
+        assert new_smu.fully_invalid
+
+    def test_scan_serves_fresh_unit_with_carried_rows(
+        self, wide_table, txns, clock
+    ):
+        """The carried unit stays scannable: valid rows serve from the
+        IMCS, only the carried-stale rows fall back to the row store."""
+        from repro.imcs.scan import ScanEngine
+
+        store, oid, rowids = populated_store(wide_table, txns, clock)
+        old_unit = store.unit_covering(oid, rowids[0].dba)
+        snapshot = clock.current
+        # mutate one row after the replacement snapshot, then swap
+        xid2, __ = load_rows(wide_table, txns, clock, 0)
+        wide_table.update_row(
+            rowids[0], {"n1": -123.0}, xid2, clock.next(), txns
+        )
+        txns.commit(xid2, clock.next())
+        store.invalidate(
+            oid, rowids[0].dba, (rowids[0].slot,), scn=clock.current
+        )
+        new_smu = store.register_unit(
+            replacement_for(wide_table, txns, old_unit, snapshot)
+        )
+        engine = ScanEngine(store, txns)
+        result = engine.scan(wide_table, clock.current)
+        by_id = {row[0]: row for row in result.rows}
+        assert by_id[0][1] == -123.0  # reconciled through the row store
+        assert result.stats.imcus_used > 0
+        assert new_smu.invalid_count == 1

@@ -1,0 +1,87 @@
+"""A worker death must not orphan shared-memory segments.
+
+``ProcessScanBackend`` publishes CU buffers into ``/dev/shm`` and reuses
+them across queries; the parent unlinks them at ``close``.  A worker
+killed mid-scan breaks the executor (`BrokenProcessPool`), and an earlier
+version kept the arena linked on that path -- the parent never reached
+``close`` for that executor generation, leaking the segments for the
+life of the machine.  The backend now tears down (shutdown + unlink) as
+the exception propagates, and rebuilds lazily on the next call.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.db import Deployment, InMemoryService
+from repro.query.parallel import ProcessScanBackend
+
+from tests.db.conftest import load, simple_table_def, small_config
+
+
+@pytest.fixture
+def scan_setup():
+    deployment = Deployment.build(config=small_config())
+    deployment.create_table(simple_table_def())
+    load(deployment, n=200)
+    deployment.enable_inmemory("T", service=InMemoryService.BOTH)
+    deployment.catch_up()
+    standby = deployment.standby
+    table = standby.catalog.table("T")
+
+    def morsels():
+        return standby.scan_engine.plan_morsels(
+            table, standby.query_scn.value, None, None
+        )
+
+    backend = ProcessScanBackend(n_workers=2)
+    yield deployment, morsels, backend
+    backend.close()
+
+
+def segment_paths(backend):
+    return [
+        os.path.join("/dev/shm", shm.name)
+        for shm, __ in backend._arena._segments.values()
+    ]
+
+
+def test_worker_kill_tears_down_arena(scan_setup):
+    deployment, morsels, backend = scan_setup
+    serial = deployment.standby.query("T")
+    partials = backend.run_morsels(morsels())
+    merged = [row for partial in partials for row in partial.rows]
+    assert sorted(merged) == sorted(serial.rows)
+
+    paths = segment_paths(backend)
+    assert paths and all(os.path.exists(p) for p in paths)
+
+    # SIGKILL every worker: the next submit finds a broken pool
+    for pid in list(backend._executor._processes):
+        os.kill(pid, signal.SIGKILL)
+    deadline = time.monotonic() + 10.0
+    raised = False
+    while time.monotonic() < deadline:
+        try:
+            backend.run_morsels(morsels())
+        except BrokenProcessPool:
+            raised = True
+            break
+        time.sleep(0.05)  # pool not yet marked broken; retry
+    assert raised, "killed pool never surfaced BrokenProcessPool"
+
+    # teardown ran: executor gone, every segment unlinked
+    assert backend._executor is None
+    assert not backend._arena._segments
+    assert not any(os.path.exists(p) for p in paths)
+
+    # and the backend heals: a fresh executor + arena serve the next scan
+    partials = backend.run_morsels(morsels())
+    merged = [row for partial in partials for row in partial.rows]
+    assert sorted(merged) == sorted(serial.rows)
+    assert segment_paths(backend)

@@ -1,0 +1,125 @@
+"""Instant restart: warm restore + redo-tail replay correctness."""
+
+from __future__ import annotations
+
+from repro.db import Deployment, InMemoryService
+
+from tests.db.conftest import load, simple_table_def, small_config
+from tests.restart.test_checkpoint import build_armed_deployment
+
+
+def standby_rows(deployment, predicates=None):
+    result = deployment.standby.query("T", predicates)
+    return sorted(result.rows), result.stats
+
+
+class TestInstantRestart:
+    def test_restores_warm_and_serves_identical_rows(self):
+        deployment, store, __ = build_armed_deployment(n=300)
+        deployment.run(1.0)  # a full checkpoint round
+        before, before_stats = standby_rows(deployment)
+        assert before_stats.imcus_used > 0
+
+        report = deployment.restart_standby()
+        assert report.mode == "instant"
+        assert report.objects_restored >= 1
+        assert report.units_restored > 0
+        assert report.rows_restored > 0
+        assert not report.coarse_fallback
+        # warm without a single population pass
+        assert deployment.standby.population.fully_populated()
+        after, after_stats = standby_rows(deployment)
+        assert after == before
+        assert after_stats.imcus_used > 0
+
+    def test_tail_replay_covers_post_checkpoint_commits(self):
+        """Commits after the last capture reach the restored masks via the
+        re-mined tail; scans stay exact without repopulating."""
+        deployment, store, rowids = build_armed_deployment(n=200)
+        deployment.run(1.0)
+        # mutate after the captured round, then advance without leaving
+        # time for a fresh capture round (interval not yet elapsed)
+        primary = deployment.primary
+        txn = primary.begin()
+        for rowid in rowids[:40]:
+            primary.update(txn, "T", rowid, {"n1": -1.0})
+        primary.commit(txn)
+        deployment.catch_up()
+        before, __ = standby_rows(deployment)
+
+        report = deployment.restart_standby()
+        assert report.mode == "instant"
+        assert report.tail_end_scn >= report.tail_start_scn > 0
+        assert report.cvs_remined > 0
+        after, __ = standby_rows(deployment)
+        assert after == before
+        assert sum(1 for row in after if row[1] == -1.0) == 40
+
+    def test_modeled_costs_scale_with_restored_state(self):
+        deployment, __, __ = build_armed_deployment(n=300)
+        deployment.run(1.0)
+        report = deployment.restart_standby()
+        assert report.mode == "instant"
+        cfg = deployment.config.restart
+        assert report.restore_seconds == (
+            cfg.restore_cost_per_row * report.rows_restored
+        )
+        assert report.modeled_seconds >= report.restore_seconds
+
+    def test_cold_flag_forces_cold_and_clears_store(self):
+        deployment, store, __ = build_armed_deployment(n=100)
+        deployment.run(1.0)
+        assert store.checkpointed_objects > 0
+        report = deployment.restart_standby(cold=True)
+        assert report.mode == "cold"
+        assert report.units_restored == 0
+        # a cleared store cannot leak checkpoints across incarnations
+        assert store.checkpointed_objects == 0
+        # cold repopulation still converges to correct data
+        deployment.catch_up()
+        rows, stats = standby_rows(deployment)
+        assert len(rows) == 100
+        assert stats.imcus_used > 0
+
+    def test_checkpoints_never_survive_their_incarnation(self):
+        """The instant path consumes the store: an immediate second bounce
+        (no new captures) must go cold rather than restore checkpoints
+        taken in a dead incarnation."""
+        deployment, store, __ = build_armed_deployment(n=100)
+        deployment.run(1.0)
+        first = deployment.restart_standby()
+        assert first.mode == "instant"
+        assert store.checkpointed_objects == 0
+        second = deployment.restart_standby()
+        assert second.mode == "cold"
+        standby = deployment.standby
+        assert standby.restarts == 2
+        assert standby.instant_restarts == 1
+
+    def test_unarmed_standby_restarts_cold(self):
+        deployment = Deployment.build(config=small_config())
+        deployment.create_table(simple_table_def())
+        load(deployment, n=80)
+        deployment.enable_inmemory("T", service=InMemoryService.BOTH)
+        deployment.catch_up()
+        report = deployment.restart_standby()
+        assert report.mode == "cold"
+        deployment.catch_up()
+        rows, __ = standby_rows(deployment)
+        assert len(rows) == 80
+
+    def test_writer_recaptures_after_restart(self):
+        """The incarnation that rises from an instant restart checkpoints
+        itself again, so the *next* bounce is warm too."""
+        deployment, store, __ = build_armed_deployment(n=100)
+        deployment.run(1.0)
+        assert deployment.restart_standby().mode == "instant"
+        # new publications re-arm the writer
+        load(deployment, n=20, start=1_000)
+        deployment.catch_up()
+        deployment.run(1.0)
+        assert store.checkpointed_objects > 0
+        second = deployment.restart_standby()
+        assert second.mode == "instant"
+        rows, __ = standby_rows(deployment)
+        assert len(rows) == 120
