@@ -21,12 +21,15 @@ Two DBIM-on-ADG hooks attach here, exactly where the paper puts them:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Optional, Protocol
+from typing import Callable, Iterator, Optional, Protocol
+
+import numpy as np
 
 from repro import obs
 from repro.chaos import sites
 from repro.common.ids import WorkerId
 from repro.common.scn import NULL_SCN, SCN
+from repro.redo.batch import OP_CODE, CVBatch, CVChunk
 from repro.redo.records import ChangeVector, CVOp, RedoRecord
 from repro.sim.cpu import CpuNode
 from repro.sim.scheduler import Actor, Scheduler
@@ -53,6 +56,11 @@ class CVApplier(Protocol):
 #: on a latch miss (the worker must retry the same CV).
 Sniffer = Callable[[ChangeVector, SCN, WorkerId, object], bool]
 
+#: Batch sniffer signature: (chunk, worker_id, owner) -> True once the
+#: whole chunk is mined, False on a latch miss (partial progress is kept
+#: on the chunk; the worker retries next step).
+BatchSniffer = Callable[[CVChunk, WorkerId, object], bool]
+
 #: Flush helper signature: (worker_id, batch) -> nodes flushed this call;
 #: -1 when a worklink exists but draining is blocked (the worker is
 #: *waiting* on the flush, accounted separately from flush work).
@@ -60,38 +68,95 @@ FlushHelper = Callable[[WorkerId, int], int]
 
 
 class ApplyDistributor:
-    """Hashes CVs of merged records onto per-worker queues."""
+    """Hashes CVs of merged records onto per-worker queues.
+
+    Accepts both record-at-a-time input (queue items are ``(scn, cv)``
+    tuples) and columnar :class:`CVBatch` input, where ``worker_for`` is
+    evaluated as one vectorized modulo over the batch's dba array and
+    each worker receives a single :class:`CVChunk` per batch.
+    """
 
     def __init__(self, n_workers: int) -> None:
         if n_workers < 1:
             raise ValueError("need at least one recovery worker")
         self.n_workers = n_workers
-        self.queues: list[deque[tuple[SCN, ChangeVector]]] = [
-            deque() for __ in range(n_workers)
-        ]
+        #: Per-worker queues of ``(scn, cv)`` tuples and/or CVChunks.
+        self.queues: list[deque] = [deque() for __ in range(n_workers)]
         #: Highest SCN fully handed out to the queues.
         self.distributed_through: SCN = NULL_SCN
+        #: CVs per distributed columnar batch.
+        self._batch_cvs = obs.histogram("adg.apply.batch_cvs")
 
     def worker_for(self, cv: ChangeVector) -> WorkerId:
         return hash(cv.dba) % self.n_workers
 
-    def distribute(self, records: list[RedoRecord]) -> int:
-        """Route every CV of the records; returns the CV count."""
+    def _workers_for_dbas(self, dbas: np.ndarray) -> np.ndarray:
+        """Vectorized ``worker_for``: CPython's hash of an int64-range
+        int is the int itself except hash(-1) == -2, so the array form
+        routes identically to the scalar form."""
+        return np.where(dbas == -1, -2, dbas) % self.n_workers
+
+    def distribute(self, items: list) -> int:
+        """Route every CV of the items (RedoRecords and/or CVBatches);
+        returns the CV count."""
         routed = 0
-        for record in records:
-            for cv in record.cvs:
-                self.queues[self.worker_for(cv)].append((record.scn, cv))
+        for item in items:
+            if isinstance(item, CVBatch):
+                routed += self._distribute_batch(item)
+                continue
+            for cv in item.cvs:
+                self.queues[self.worker_for(cv)].append((item.scn, cv))
                 routed += 1
-            if record.scn > self.distributed_through:
-                self.distributed_through = record.scn
+            if item.scn > self.distributed_through:
+                self.distributed_through = item.scn
         return routed
+
+    def _distribute_batch(self, batch: CVBatch) -> int:
+        n_cvs = batch.n_cvs
+        if n_cvs:
+            if self.n_workers == 1:
+                self.queues[0].append(
+                    CVChunk(batch, np.arange(n_cvs, dtype=np.int64))
+                )
+            else:
+                workers = self._workers_for_dbas(batch.dbas)
+                order = np.argsort(workers, kind="stable")
+                bounds = np.searchsorted(
+                    workers[order], np.arange(self.n_workers + 1)
+                )
+                for w in range(self.n_workers):
+                    lo, hi = int(bounds[w]), int(bounds[w + 1])
+                    if hi > lo:
+                        # stable sort keeps SCN order within the worker
+                        self.queues[w].append(CVChunk(batch, order[lo:hi]))
+            self._batch_cvs.observe(n_cvs)
+        if batch.n_records and batch.last_scn > self.distributed_through:
+            self.distributed_through = batch.last_scn
+        return n_cvs
 
     def note_applied(self, cv: ChangeVector) -> None:
         """Hook invoked by a worker after applying one CV (dependency
         bookkeeping for subclasses; the static hash scheme needs none)."""
 
+    def _queue_load(self, worker: WorkerId) -> int:
+        """Pending CVs on one worker's queue (chunk-aware)."""
+        total = 0
+        for item in self.queues[worker]:
+            total += len(item) if isinstance(item, CVChunk) else 1
+        return total
+
     def pending(self) -> int:
-        return sum(len(q) for q in self.queues)
+        return sum(self._queue_load(w) for w in range(self.n_workers))
+
+    def queued_cvs(self) -> Iterator[ChangeVector]:
+        """Every still-queued (unapplied) ChangeVector, identity-
+        preserving -- the instant-restart tail replay excludes these."""
+        for queue in self.queues:
+            for item in queue:
+                if isinstance(item, CVChunk):
+                    yield from item.remaining_cvs()
+                else:
+                    yield item[1]
 
 
 class DependencyAwareDistributor(ApplyDistributor):
@@ -145,16 +210,97 @@ class DependencyAwareDistributor(ApplyDistributor):
                 return obj[0]
         return self._least_loaded()
 
-    def distribute(self, records: list[RedoRecord]) -> int:
+    def distribute(self, items: list) -> int:
         routed = 0
-        for record in records:
-            for cv in record.cvs:
+        for item in items:
+            if isinstance(item, CVBatch):
+                routed += self._distribute_batch(item)
+                continue
+            for cv in item.cvs:
                 worker = self._route(cv)
-                self.queues[worker].append((record.scn, cv))
+                self.queues[worker].append((item.scn, cv))
                 routed += 1
-            if record.scn > self.distributed_through:
-                self.distributed_through = record.scn
+            if item.scn > self.distributed_through:
+                self.distributed_through = item.scn
         return routed
+
+    def _distribute_batch(self, batch: CVBatch) -> int:
+        """Batch-wise dependency routing: one routing decision per
+        *dba run* (all of a batch's CVs for one block) instead of one per
+        CV.  Runs are processed in first-occurrence (SCN) order so DDL
+        creation markers seed object owners before later runs consult
+        them, exactly as the per-CV path would."""
+        n_cvs = batch.n_cvs
+        if not n_cvs:
+            if batch.n_records and batch.last_scn > self.distributed_through:
+                self.distributed_through = batch.last_scn
+            return 0
+        dbas = batch.dbas
+        ops = batch.ops
+        cvs = batch.cvs
+        order = np.argsort(dbas, kind="stable")
+        sorted_dbas = dbas[order]
+        is_run_start = np.empty(n_cvs, dtype=bool)
+        is_run_start[0] = True
+        np.not_equal(sorted_dbas[1:], sorted_dbas[:-1], out=is_run_start[1:])
+        run_starts = np.nonzero(is_run_start)[0]
+        run_ends = np.append(run_starts[1:], n_cvs)
+        run_order = np.argsort(order[run_starts])
+        loads = [self._queue_load(w) for w in range(self.n_workers)]
+        per_worker: list[list[np.ndarray]] = [
+            [] for __ in range(self.n_workers)
+        ]
+        ddl_code = OP_CODE[CVOp.DDL_MARKER]
+        has_ddl = bool(np.any(ops == ddl_code))
+        chained = 0
+        for r in run_order:
+            lo, hi = int(run_starts[r]), int(run_ends[r])
+            positions = order[lo:hi]  # ascending: SCN order in the run
+            count = hi - lo
+            dba = int(sorted_dbas[lo])
+            entry = self._dba_owner.get(dba)
+            if entry is None:
+                worker = None
+                first_cv = cvs[int(positions[0])]
+                if first_cv.is_data or first_cv.op is CVOp.TRUNCATE:
+                    obj = self._object_owner.get(first_cv.object_id)
+                    if obj is not None:
+                        worker = obj[0]
+                if worker is None:
+                    worker = min(
+                        range(self.n_workers), key=loads.__getitem__
+                    )
+                    chained += count - 1
+                else:
+                    chained += count
+                entry = [worker, 0]
+                self._dba_owner[dba] = entry
+            else:
+                chained += count
+            entry[1] += count
+            worker = entry[0]
+            if has_ddl:
+                for p in positions[ops[positions] == ddl_code]:
+                    payload = cvs[int(p)].payload
+                    if payload.kind == "create_table":
+                        for object_id in payload.object_ids:
+                            obj = self._object_owner.get(object_id)
+                            if obj is None:
+                                self._object_owner[object_id] = [worker, 1]
+                            else:
+                                obj[1] += 1
+            loads[worker] += count
+            per_worker[worker].append(positions)
+        for w, runs in enumerate(per_worker):
+            if runs:
+                indices = np.sort(np.concatenate(runs))
+                self.queues[w].append(CVChunk(batch, indices))
+        if chained:
+            self._chained_cvs.inc(chained)
+        self._batch_cvs.observe(n_cvs)
+        if batch.last_scn > self.distributed_through:
+            self.distributed_through = batch.last_scn
+        return n_cvs
 
     def _route(self, cv: ChangeVector) -> WorkerId:
         chained = True
@@ -218,11 +364,18 @@ class RecoveryWorker(Actor):
         node: Optional[CpuNode] = None,
         speed: float = 1.0,
         cost_per_cv: float = APPLY_COST_PER_CV,
+        batch_sniffer: Optional[BatchSniffer] = None,
     ) -> None:
         self.worker_id = worker_id
         self.distributor = distributor
         self.applier = applier
         self.sniffer = sniffer
+        self.batch_sniffer = batch_sniffer
+        #: Static dba routing needs no per-CV note_applied bookkeeping,
+        #: so the chunk apply loop can skip the call entirely.
+        self._static_routing = (
+            type(distributor).note_applied is ApplyDistributor.note_applied
+        )
         self.flush_helper = flush_helper
         self.batch = batch
         self.flush_batch = flush_batch
@@ -269,7 +422,8 @@ class RecoveryWorker(Actor):
         queue = self.distributor.queues[self.worker_id]
         if not queue:
             return self.distributor.distributed_through
-        head_scn = queue[0][0]
+        head = queue[0]
+        head_scn = head[0] if type(head) is tuple else head.head_scn
         return head_scn - 1
 
     # ------------------------------------------------------------------
@@ -306,7 +460,18 @@ class RecoveryWorker(Actor):
         tracer = obs.tracer_of(self._obs)
         applied = 0
         while queue and applied < self.batch:
-            scn, cv = queue[0]
+            head = queue[0]
+            if isinstance(head, CVChunk):
+                done, stop = self._apply_chunk_step(
+                    head, self.batch - applied, tracer
+                )
+                applied += done
+                if not len(head):
+                    queue.popleft()
+                if stop:
+                    break
+                continue
+            scn, cv = head
             if self.sniffer is not None and not self._head_sniffed:
                 if not self.sniffer(cv, scn, self.worker_id, self):
                     # bucket latch miss: spin -- retry this CV next step.
@@ -331,3 +496,70 @@ class RecoveryWorker(Actor):
             cost += self.cost_per_cv * applied
             self._cvs_applied.inc(applied)
         return cost if cost > 0 else None
+
+    # ------------------------------------------------------------------
+    def _apply_chunk_step(
+        self, chunk: CVChunk, budget: int, tracer
+    ) -> tuple[int, bool]:
+        """Mine-then-apply up to ``budget`` CVs of the head chunk.
+
+        The *whole* chunk is mined before any of it applies -- the
+        chunk-scale analogue of sniff-then-apply.  This is safe because
+        the coordinator's consistency point never passes any worker's
+        queue head, so early-mined commits cannot chop ahead of their
+        data.  Returns ``(applied, stop)``; ``stop`` means a latch miss
+        or apply stall ended this worker's step.
+        """
+        if not chunk.fully_mined:
+            if self.batch_sniffer is not None:
+                if not self.batch_sniffer(chunk, self.worker_id, self):
+                    # bucket latch miss mid-chunk: partial progress is
+                    # kept on the chunk; retry next step.
+                    self._sniff_retries.inc()
+                    return 0, True
+            elif self.sniffer is not None:
+                indices = chunk.indices
+                scns = chunk.batch.scns
+                cvs = chunk.batch.cvs
+                while chunk.mined_pos < len(indices):
+                    i = int(indices[chunk.mined_pos])
+                    if not self.sniffer(
+                        cvs[i], int(scns[i]), self.worker_id, self
+                    ):
+                        self._sniff_retries.inc()
+                        return 0, True
+                    chunk.mined_pos += 1
+            else:
+                chunk.mined_pos = len(chunk.indices)
+        indices = chunk.indices
+        scns = chunk.batch.scns
+        cvs = chunk.batch.cvs
+        apply_cv = self.applier.apply_cv
+        static = self._static_routing
+        note_applied = self.distributor.note_applied
+        pos = chunk.pos
+        end = min(pos + budget, len(indices))
+        applied = 0
+        stop = False
+        last_scn = self.applied_scn
+        while pos < end:
+            i = int(indices[pos])
+            cv = cvs[i]
+            scn = int(scns[i])
+            try:
+                apply_cv(cv, scn)
+            except ApplyStall:
+                self._apply_stalls.inc()
+                stop = True
+                break
+            pos += 1
+            applied += 1
+            last_scn = scn
+            if not static:
+                note_applied(cv)
+            if tracer is not None:
+                tracer.record_applied(scn)
+        chunk.pos = pos
+        if applied:
+            self.applied_scn = last_scn
+        return applied, stop

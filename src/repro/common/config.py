@@ -75,6 +75,10 @@ class ApplyConfig:
     # create-table marker) to the owning worker, eliminating cross-worker
     # barrier stalls on cross-partition transactions.
     routing: str = "hash"
+    # Ingest pipeline shape: "batched" ships columnar CVBatches from the
+    # log shipper through distribution, mining and flush; "records" is the
+    # record-at-a-time path, kept as the correctness oracle.
+    ingest: str = "batched"
 
 
 @dataclass(slots=True)

@@ -50,6 +50,7 @@ from repro.obs.restart import record_restart
 from repro.restart.replay import RestartReport, instant_restart
 from repro.imcs.scan import Predicate, ScanEngine, ScanResult
 from repro.imcs.store import InMemoryColumnStore
+from repro.redo.batch import CVChunk
 from repro.redo.records import ChangeVector, DDLMarkerPayload
 from repro.redo.shipping import RedoReceiver
 from repro.rowstore.buffer_cache import BufferCache
@@ -119,6 +120,7 @@ class StandbyDatabase(InMemoryFeaturesMixin):
         )
 
         sniffer = self.miner.sniff if dbim_enabled else None
+        batch_sniffer = self.miner.sniff_chunk if dbim_enabled else None
         flush_helper = (
             self.flush.worker_flush
             if dbim_enabled and apply_cfg.cooperative_flush
@@ -130,6 +132,7 @@ class StandbyDatabase(InMemoryFeaturesMixin):
                 self.distributor,
                 applier=self,
                 sniffer=sniffer,
+                batch_sniffer=batch_sniffer,
                 flush_helper=flush_helper,
                 batch=apply_cfg.worker_batch,
                 flush_batch=apply_cfg.cooperative_flush_batch,
@@ -336,6 +339,12 @@ class StandbyDatabase(InMemoryFeaturesMixin):
         self.ddl_table.clear()
         self.flush.clear()
         self.miner.clear()
+        # Queued chunks carry mining cursors into the (now cleared)
+        # journal: everything not yet applied must be re-mined.
+        for queue in self.distributor.queues:
+            for item in queue:
+                if isinstance(item, CVChunk):
+                    item.reset_mining()
         for segment in list(self.imcs.segments()):
             self.imcs.drop_units(segment.object_id)
             segment.pending.clear()

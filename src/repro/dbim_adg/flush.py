@@ -27,6 +27,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro import obs
 from repro.chaos import sites
 from repro.common.ids import DBA, ObjectId, TenantId, WorkerId
@@ -287,6 +289,8 @@ class InvalidationFlushComponent:
         bumps locally, duplicate interconnect entries on RAC).
         """
         assert node.anchor is not None
+        if node.anchor.worker_chunks and not node.anchor.worker_records:
+            return self._gather_groups_columnar(node)
         open_group: dict[ObjectId, InvalidationGroup] = {}
         assigned: dict[tuple[ObjectId, DBA], InvalidationGroup] = {}
         out: list[InvalidationGroup] = []
@@ -313,6 +317,82 @@ class InvalidationFlushComponent:
                 group.blocks[record.dba] = tuple(
                     sorted(set(existing) | set(record.slots))
                 )
+        return out
+
+    def _gather_groups_columnar(
+        self, node: CommitTableNode
+    ) -> list[InvalidationGroup]:
+        """Array path of :meth:`_gather_groups` for anchors whose records
+        were bulk-mined into columnar RecordChunks: one lexsort over the
+        transaction's (object, dba, slot) triples replaces the per-record
+        dict walk.  Group *composition* may differ from the record path
+        (sorted vs first-seen order), but the union of routed (object,
+        dba, slots) invalidations -- what the SMUs see -- is identical:
+        whole-block (slot < 0) still wins, slot sets still union.
+        """
+        anchor = node.anchor
+        assert anchor is not None
+        all_chunks = [c for cs in anchor.worker_chunks.values() for c in cs]
+        tenant = all_chunks[0].tenant
+        if len(all_chunks) == 1:
+            object_ids = all_chunks[0].object_ids
+            dbas = all_chunks[0].dbas
+            slots = all_chunks[0].slots
+        else:
+            object_ids = np.concatenate([c.object_ids for c in all_chunks])
+            dbas = np.concatenate([c.dbas for c in all_chunks])
+            slots = np.concatenate([c.slots for c in all_chunks])
+        order = np.lexsort((slots, dbas, object_ids))
+        obj_s = object_ids[order]
+        dba_s = dbas[order]
+        slot_s = slots[order]
+        # Dedupe exact (object, dba, slot) triples in one vectorized shot
+        # -- after the lexsort, each run's surviving slots are unique and
+        # ascending, so no per-run ``np.unique`` is needed.
+        if obj_s.size > 1:
+            keep = np.empty(obj_s.size, dtype=bool)
+            keep[0] = True
+            np.logical_or(obj_s[1:] != obj_s[:-1], dba_s[1:] != dba_s[:-1],
+                          out=keep[1:])
+            np.logical_or(keep[1:], slot_s[1:] != slot_s[:-1],
+                          out=keep[1:])
+            obj_s = obj_s[keep]
+            dba_s = dba_s[keep]
+            slot_s = slot_s[keep]
+        new_pair = np.empty(obj_s.size, dtype=bool)
+        new_pair[0] = True
+        np.logical_or(obj_s[1:] != obj_s[:-1], dba_s[1:] != dba_s[:-1],
+                      out=new_pair[1:])
+        starts = np.nonzero(new_pair)[0].tolist()
+        starts.append(obj_s.size)
+        # the per-run walk works on plain lists: for the short runs this
+        # loop sees, list slicing beats numpy scalar extraction
+        obj_l = obj_s.tolist()
+        dba_l = dba_s.tolist()
+        slot_l = slot_s.tolist()
+        out: list[InvalidationGroup] = []
+        group: Optional[InvalidationGroup] = None
+        limit = self.group_block_limit
+        for b in range(len(starts) - 1):
+            lo, hi = starts[b], starts[b + 1]
+            obj = obj_l[lo]
+            if (
+                group is None
+                or group.object_id != obj
+                or group.n_blocks >= limit
+            ):
+                group = InvalidationGroup(
+                    object_id=obj,
+                    tenant=tenant,
+                    commit_scn=node.commit_scn,
+                )
+                out.append(group)
+            if slot_l[lo] < 0:
+                # whole-block marker present (sorted first in the run)
+                block_slots: tuple[int, ...] = ()
+            else:
+                block_slots = tuple(slot_l[lo:hi])
+            group.blocks[dba_l[lo]] = block_slots
         return out
 
     # ------------------------------------------------------------------

@@ -19,8 +19,11 @@ latch-free.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
+
+import numpy as np
 
 from repro import obs
 from repro.common.ids import DBA, ObjectId, TenantId, TransactionId, WorkerId
@@ -45,6 +48,35 @@ class InvalidationRecord:
 
 
 @dataclass(slots=True)
+class RecordChunk:
+    """One bulk-mined slice of a transaction's invalidation data:
+    row-aligned arrays appended latch-free into a worker's buffer area
+    (the columnar counterpart of a run of :class:`InvalidationRecord`).
+    A ``slots`` entry < 0 means the whole block is affected."""
+
+    object_ids: np.ndarray
+    dbas: np.ndarray
+    slots: np.ndarray
+    scns: np.ndarray
+    tenant: TenantId
+
+    def __len__(self) -> int:
+        return int(self.dbas.size)
+
+    def records(self) -> Iterator[InvalidationRecord]:
+        tenant = self.tenant
+        for i in range(self.dbas.size):
+            slot = int(self.slots[i])
+            yield InvalidationRecord(
+                object_id=int(self.object_ids[i]),
+                dba=int(self.dbas[i]),
+                slots=(slot,) if slot >= 0 else (),
+                tenant=tenant,
+                scn=int(self.scns[i]),
+            )
+
+
+@dataclass(slots=True)
 class AnchorNode:
     """Hash-table node anchoring one transaction's invalidation records."""
 
@@ -59,6 +91,13 @@ class AnchorNode:
     worker_records: dict[WorkerId, list[InvalidationRecord]] = field(
         default_factory=dict
     )
+    #: Per-worker *columnar* buffer areas (bulk-mined RecordChunks).
+    worker_chunks: dict[WorkerId, list[RecordChunk]] = field(
+        default_factory=dict
+    )
+    #: Owning journal's floor-heap feed: called with (scn, xid) whenever
+    #: ``first_scn`` is lowered, so ``min_first_scn`` stays O(log n).
+    floor_sink: Optional[Callable[[SCN, TransactionId], None]] = None
     #: SCN of the earliest CV mined for this transaction (0 = none yet).
     #: The checkpoint store records the minimum over live anchors as the
     #: redo-tail replay floor: everything an instant restart must re-mine
@@ -76,6 +115,8 @@ class AnchorNode:
     def note_scn(self, scn: SCN) -> None:
         if self.first_scn == 0 or scn < self.first_scn:
             self.first_scn = scn
+            if self.floor_sink is not None:
+                self.floor_sink(scn, self.xid)
 
     def add(self, worker_id: WorkerId, record: InvalidationRecord) -> None:
         self.note_scn(record.scn)
@@ -115,13 +156,52 @@ class AnchorNode:
         )
         self.worker_records[worker_id] = kept
 
+    def add_batch(
+        self,
+        worker_id: WorkerId,
+        object_ids: np.ndarray,
+        dbas: np.ndarray,
+        slots: np.ndarray,
+        scns: np.ndarray,
+        tenant: TenantId,
+    ) -> None:
+        """Append one bulk-mined slice into this worker's buffer area
+        (latch-free, like :meth:`add`; arrays are row-aligned and in SCN
+        order).  Anchors with adaptive collapse fall back to per-record
+        adds so the collapse counters stay exact."""
+        if dbas.size == 0:
+            return
+        if self.collapse_threshold is not None:
+            for i in range(dbas.size):
+                slot = int(slots[i])
+                self.add(
+                    worker_id,
+                    InvalidationRecord(
+                        object_id=int(object_ids[i]),
+                        dba=int(dbas[i]),
+                        slots=(slot,) if slot >= 0 else (),
+                        tenant=tenant,
+                        scn=int(scns[i]),
+                    ),
+                )
+            return
+        self.note_scn(int(scns.min()))
+        self.worker_chunks.setdefault(worker_id, []).append(
+            RecordChunk(object_ids, dbas, slots, scns, tenant)
+        )
+
     def all_records(self) -> Iterator[InvalidationRecord]:
         for records in self.worker_records.values():
             yield from records
+        for chunks in self.worker_chunks.values():
+            for chunk in chunks:
+                yield from chunk.records()
 
     @property
     def n_records(self) -> int:
-        return sum(len(r) for r in self.worker_records.values())
+        return sum(len(r) for r in self.worker_records.values()) + sum(
+            len(c) for chunks in self.worker_chunks.values() for c in chunks
+        )
 
 
 class IMADGJournal:
@@ -145,8 +225,15 @@ class IMADGJournal:
         #: Adaptive record granularity, inherited by every anchor (see
         #: :class:`AnchorNode`); None keeps all records physical.
         self.collapse_threshold = collapse_threshold
+        #: Lazy-deletion min-heap of (first_scn, xid) floor candidates;
+        #: fed by every anchor's ``floor_sink``, consumed (and pruned of
+        #: stale entries) by :meth:`min_first_scn`.
+        self._floor_heap: list[tuple[SCN, TransactionId]] = []
         self._anchors_created = obs.counter("dbim.journal.anchors_created")
         self._latch_breaks = obs.counter("dbim.journal.latch_breaks")
+
+    def _note_floor(self, scn: SCN, xid: TransactionId) -> None:
+        heapq.heappush(self._floor_heap, (scn, xid))
 
     def _bucket_index(self, xid: TransactionId) -> int:
         return hash(xid) % len(self._buckets)
@@ -168,6 +255,7 @@ class IMADGJournal:
                     xid=xid, tenant=tenant,
                     collapse_threshold=self.collapse_threshold,
                 )
+                anchor.floor_sink = self._note_floor
                 self._buckets[index][xid] = anchor
                 self._anchors_created.inc()
             return anchor
@@ -247,25 +335,34 @@ class IMADGJournal:
     def min_first_scn(self) -> SCN:
         """Earliest first-CV SCN over every live anchor (0 = no anchors).
 
+        O(log n) via the lazy-deletion floor heap instead of a full
+        anchor scan: the heap top is the global minimum candidate; an
+        entry is stale -- and popped -- when its anchor is gone
+        (committed/aborted/removed) or was re-created with a different
+        floor.  ``first_scn`` only ever decreases on a live anchor, and
+        every decrease pushes a fresh entry, so a surviving top entry
+        matching its anchor's ``first_scn`` is exact.
+
         Read latch-free: the checkpoint writer runs inside a single
         scheduler step (under the shared quiesce lock), and every journal
         critical section is likewise contained within one step, so no
         concurrent mutation can be in flight.
         """
-        floor: SCN = 0
-        for bucket in self._buckets:
-            for anchor in bucket.values():
-                if anchor.first_scn == 0:
-                    continue
-                if floor == 0 or anchor.first_scn < floor:
-                    floor = anchor.first_scn
-        return floor
+        heap = self._floor_heap
+        while heap:
+            scn, xid = heap[0]
+            anchor = self._buckets[self._bucket_index(xid)].get(xid)
+            if anchor is not None and anchor.first_scn == scn:
+                return scn
+            heapq.heappop(heap)
+        return 0
 
     def clear(self) -> None:
         """Drop all state (standby instance restart: the journal has no
         persistent footprint)."""
         for bucket in self._buckets:
             bucket.clear()
+        self._floor_heap.clear()
 
     @property
     def anchor_count(self) -> int:

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro import obs
 from repro.common.ids import TransactionId, WorkerId
 from repro.common.scn import SCN
@@ -32,6 +34,12 @@ from repro.dbim_adg.commit_table import CommitTableNode, IMADGCommitTable
 from repro.dbim_adg.ddl import DDLInformationTable
 from repro.dbim_adg.journal import IMADGJournal, InvalidationRecord
 from repro.imcs.store import InMemoryColumnStore
+from repro.redo.batch import (
+    BULK_DATA_LOOKUP,
+    SPECIAL_LOOKUP,
+    CVChunk,
+    decode_xid,
+)
 from repro.redo.records import (
     CVOp,
     ChangeVector,
@@ -90,6 +98,8 @@ class MiningComponent:
         self._tail_commits_skipped = obs.counter(
             "dbim.miner.tail_commits_skipped"
         )
+        #: CVs per bulk-mined chunk.
+        self._batch_cvs = obs.histogram("dbim.mine.batch_cvs")
 
     # ------------------------------------------------------------------
     def sniff(
@@ -201,6 +211,211 @@ class MiningComponent:
             if node.coarse:
                 self._coarse_nodes_created.inc(-1)  # recreated on retry
             return False
+        self._control_records_mined.inc()
+        return True
+
+    # ------------------------------------------------------------------
+    # Columnar chunk mining (installed as the workers' batch sniffer).
+    # ------------------------------------------------------------------
+    def sniff_chunk(
+        self, chunk: CVChunk, worker_id: WorkerId, owner: object
+    ) -> bool:
+        """Mine a worker's whole chunk, bulk-grouping data CVs by xid.
+
+        The chunk is walked as alternating *data gaps* (runs of
+        non-control CVs, grouped by transaction with one stable sort and
+        appended to journal anchors as columnar RecordChunks) and
+        *special* positions (transaction state changes and DDL markers,
+        processed one at a time, in order).  Commit-table inserts are
+        deferred into one :meth:`IMADGCommitTable.insert_batch` at the
+        end of the chunk -- safe because the flush chop is gated behind
+        the chunk being fully *applied*, which requires it fully mined.
+        Returns False on a latch miss; partial progress stays on the
+        chunk (``mined_pos`` / ``mined_xids`` / ``pending_commits``) and
+        the worker retries next step.
+        """
+        indices = chunk.indices
+        n = len(indices)
+        if not chunk.stats_noted:
+            chunk.stats_noted = True
+            self._batch_cvs.observe(n)
+        batch = chunk.batch
+        cvs = batch.cvs
+        scns = batch.scns
+        tracer = obs.tracer_of(self._obs)
+        # One pass of vectorized classification for the whole call: the
+        # special positions to walk in order, and the minable-data mask
+        # (bulk data op AND IMCS-enabled object).  Nothing can change the
+        # enabled set *within* a call, so hoisting the filter out of the
+        # per-gap path is exact.
+        chunk_ops = batch.ops[indices]
+        special_positions = np.nonzero(SPECIAL_LOOKUP[chunk_ops])[0]
+        data_mask = BULK_DATA_LOOKUP[chunk_ops]
+        if data_mask.any():
+            enabled = self.imcs.enabled_object_ids
+            if not enabled:
+                data_mask[:] = False
+            elif len(enabled) <= 8:
+                # A handful of enabled objects: a few equality passes beat
+                # np.isin's sort/unique machinery by an order of magnitude.
+                object_ids = batch.object_ids[indices]
+                enabled_mask = np.zeros(n, dtype=bool)
+                for object_id in enabled:
+                    enabled_mask |= object_ids == object_id
+                data_mask &= enabled_mask
+            else:
+                data_mask &= np.isin(
+                    batch.object_ids[indices],
+                    np.fromiter(
+                        enabled, dtype=np.int64, count=len(enabled)
+                    ),
+                    kind="sort",
+                )
+        pos = chunk.mined_pos
+        while pos < n:
+            k = int(np.searchsorted(special_positions, pos))
+            gap_end = (
+                int(special_positions[k])
+                if k < special_positions.size
+                else n
+            )
+            if gap_end > pos:
+                if not self._mine_data_gap(
+                    chunk, pos, gap_end, data_mask, worker_id, owner, tracer
+                ):
+                    return False
+                pos = gap_end
+                chunk.mined_pos = pos
+                chunk.mined_xids = None
+                continue
+            i = int(indices[pos])
+            cv = cvs[i]
+            scn = int(scns[i])
+            if not self._sniff_special(cv, scn, chunk, owner):
+                chunk.mined_pos = pos
+                return False
+            pos += 1
+            chunk.mined_pos = pos
+            if tracer is not None:
+                tracer.record_mined(scn)
+        if chunk.pending_commits:
+            leftover = self.commit_table.insert_batch(
+                chunk.pending_commits, owner
+            )
+            if leftover:
+                self._latch_misses.inc()
+                chunk.pending_commits = leftover
+                return False
+            chunk.pending_commits = None
+        return True
+
+    def _mine_data_gap(
+        self,
+        chunk: CVChunk,
+        lo: int,
+        hi: int,
+        data_mask: np.ndarray,
+        worker_id: WorkerId,
+        owner: object,
+        tracer,
+    ) -> bool:
+        """Bulk-mine one run of non-control CVs: take the caller's
+        precomputed minable-data mask, group by xid with one stable sort,
+        and append each group to its journal anchor as a single columnar
+        slice.  ``mined_xids`` carries per-group progress across
+        latch-miss retries of the same gap."""
+        batch = chunk.batch
+        idx = chunk.indices[lo:hi]
+        mask = data_mask[lo:hi]
+        if mask.any():
+            sel = np.nonzero(mask)[0]
+            xids = batch.xids[idx[sel]]
+            order = np.argsort(xids, kind="stable")
+            sorted_xids = xids[order]
+            starts = np.nonzero(
+                np.concatenate(([True], sorted_xids[1:] != sorted_xids[:-1]))
+            )[0]
+            ends = np.append(starts[1:], sel.size)
+            mined = chunk.mined_xids
+            if mined is None:
+                mined = chunk.mined_xids = set()
+            for g in range(starts.size):
+                code = int(sorted_xids[starts[g]])
+                if code in mined:
+                    continue
+                # back to chunk order: SCN-ascending within the group
+                grp = idx[sel[np.sort(order[starts[g] : ends[g]])]]
+                tenant = int(batch.tenants[grp[0]])
+                anchor = self.journal.get_or_create(
+                    decode_xid(code), tenant, owner
+                )
+                if anchor is None:
+                    self._latch_misses.inc()
+                    return False
+                anchor.add_batch(
+                    worker_id,
+                    batch.object_ids[grp],
+                    batch.dbas[grp],
+                    batch.slots[grp],
+                    batch.scns[grp],
+                    tenant,
+                )
+                self._data_records_mined.inc(int(grp.size))
+                mined.add(code)
+        if tracer is not None:
+            for s in batch.scns[idx]:
+                tracer.record_mined(int(s))
+        return True
+
+    def _sniff_special(
+        self, cv: ChangeVector, scn: SCN, chunk: CVChunk, owner: object
+    ) -> bool:
+        """Mine one in-order special CV during a chunk walk; commits
+        defer their commit-table insert to the chunk's batch insert."""
+        if cv.op is CVOp.DDL_MARKER:
+            self.ddl_table.add(scn, cv.payload)
+            self._ddl_markers_mined.inc()
+            return True
+        if cv.op is CVOp.TXN_COMMIT:
+            return self._sniff_commit_deferred(cv, chunk, owner)
+        return self._sniff_control(cv, scn, owner)
+
+    def _sniff_commit_deferred(
+        self, cv: ChangeVector, chunk: CVChunk, owner: object
+    ) -> bool:
+        """Like :meth:`_sniff_commit`, but the built node lands on the
+        chunk's ``pending_commits`` instead of the commit table."""
+        payload: CommitPayload = cv.payload
+        acquired, anchor = self.journal.get(cv.xid, owner)
+        if not acquired:
+            self._latch_misses.inc()
+            return False
+        if anchor is not None and anchor.has_begin:
+            node = CommitTableNode(
+                xid=cv.xid,
+                commit_scn=payload.commit_scn,
+                anchor=anchor,
+                tenant=cv.tenant,
+            )
+        else:
+            if payload.modifies_imcs is False:
+                self._control_records_mined.inc()
+                return True
+            if self.tail_mode:
+                self._tail_commits_skipped.inc()
+                self._control_records_mined.inc()
+                return True
+            node = CommitTableNode(
+                xid=cv.xid,
+                commit_scn=payload.commit_scn,
+                anchor=anchor,
+                tenant=cv.tenant,
+                coarse=True,
+            )
+            self._coarse_nodes_created.inc()
+        if chunk.pending_commits is None:
+            chunk.pending_commits = []
+        chunk.pending_commits.append(node)
         self._control_records_mined.inc()
         return True
 

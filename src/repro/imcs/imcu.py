@@ -37,6 +37,9 @@ from repro.rowstore.cr import TransactionView, visible_version
 from repro.rowstore.segment import Segment
 from repro.rowstore.values import ColumnType, Schema
 
+#: Bits reserved for the slot in the combined (dba, slot) index key.
+_KEY_SHIFT = 32
+
 
 class IMCU:
     """One read-only columnar unit."""
@@ -79,6 +82,12 @@ class IMCU:
         #: scan over every rowid.
         self._dba_positions: Optional[dict[DBA, np.ndarray]] = None
         self._dba_slots: Optional[dict[DBA, np.ndarray]] = None
+        #: Lazily built combined (dba, slot) -> position index: one sorted
+        #: key array covering every captured row, so a whole invalidation
+        #: group resolves in a single searchsorted instead of one lookup
+        #: per block.
+        self._key_sorted: Optional[np.ndarray] = None
+        self._key_positions: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -227,6 +236,49 @@ class IMCU:
         idx_clipped = np.minimum(idx, captured.size - 1)
         hit = captured[idx_clipped] == wanted
         return self._dba_positions[dba][idx_clipped[hit]]
+
+    def _build_key_index(self) -> None:
+        # slot < rows_per_block << 2**32, so dba * 2**32 + slot orders
+        # keys lexicographically by (dba, slot) even for negative dbas.
+        keys = np.fromiter(
+            ((rid.dba << _KEY_SHIFT) + rid.slot for rid in self.rowids),
+            np.int64,
+            len(self.rowids),
+        )
+        order = np.argsort(keys, kind="stable")
+        self._key_sorted = keys[order]
+        self._key_positions = order
+
+    def positions_for_block_batches(self, batches) -> np.ndarray:
+        """Row positions across a whole list of ``(dba, slots)`` pairs in
+        one searchsorted pass over the combined (dba, slot) key index.
+
+        Equivalent to concatenating :meth:`positions_for_slots` over the
+        pairs (order aside); uncaptured slots are dropped the same way.
+        """
+        if len(batches) == 1:
+            dba, slots = batches[0]
+            return self.positions_for_slots(dba, slots)
+        if self._key_sorted is None:
+            self._build_key_index()
+        key_sorted = self._key_sorted
+        if key_sorted.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        n_wanted = sum(len(slots) for __, slots in batches)
+        wanted = np.empty(n_wanted, dtype=np.int64)
+        at = 0
+        for dba, slots in batches:
+            end = at + len(slots)
+            np.add(
+                np.asarray(slots, dtype=np.int64),
+                dba << _KEY_SHIFT,
+                out=wanted[at:end],
+            )
+            at = end
+        idx = np.searchsorted(key_sorted, wanted)
+        idx_clipped = np.minimum(idx, key_sorted.size - 1)
+        hit = key_sorted[idx_clipped] == wanted
+        return self._key_positions[idx_clipped[hit]]
 
     @property
     def column_names(self) -> list[str]:

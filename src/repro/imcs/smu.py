@@ -87,15 +87,9 @@ class SMU:
         Returns the number of rows newly invalidated.
         """
         self._touch(scn)
-        imcu = self.imcu
-        gathered = [
-            positions
-            for dba, slots in batches
-            if (positions := imcu.positions_for_slots(dba, slots)).size
-        ]
-        if not gathered:
+        positions = self.imcu.positions_for_block_batches(batches)
+        if positions.size == 0:
             return 0
-        positions = gathered[0] if len(gathered) == 1 else np.concatenate(gathered)
         fresh = positions[~self._invalid_rows[positions]]
         if fresh.size == 0:
             return 0

@@ -25,6 +25,7 @@ from repro import obs
 from repro.chaos import sites
 from repro.common.ids import InstanceId
 from repro.common.scn import NULL_SCN, SCN
+from repro.redo.batch import CVBatch
 from repro.redo.log import LogReader, RedoLog
 from repro.redo.records import RedoRecord
 from repro.sim.cpu import CpuNode
@@ -44,7 +45,9 @@ class RedoReceiver:
     batches_dropped = obs.view("_batches_dropped")
 
     def __init__(self, fal_fetch=None) -> None:
-        self._queues: dict[InstanceId, deque[RedoRecord]] = {}
+        #: Per-thread landing queues; items are RedoRecords or CVBatches
+        #: (FAL-healed redo always lands as records, so queues can mix).
+        self._queues: dict[InstanceId, deque] = {}
         #: Highest SCN received per thread (for lag measurement).
         self.received_scn: dict[InstanceId, SCN] = {}
         #: Next expected log position per thread (gap detection).
@@ -78,29 +81,42 @@ class RedoReceiver:
 
     def deliver(
         self,
-        records: list[RedoRecord],
+        records: "list[RedoRecord] | CVBatch",
         position: int | None = None,
         thread: InstanceId | None = None,
     ) -> None:
-        """Land a batch.  ``position`` is the batch's starting position in
-        its thread's log; None disables gap tracking (direct test use).
-        An empty tracked batch (a zero-record shipment) must name its
-        ``thread`` explicitly so gap tracking can still advance.
+        """Land a shipment: a record list or a columnar :class:`CVBatch`.
+
+        ``position`` is the shipment's starting position in its thread's
+        log; None disables gap tracking (direct test use).  An empty
+        tracked shipment must name its ``thread`` explicitly so gap
+        tracking can still advance.  Batched shipments see identical
+        chaos-event context and gap/duplicate handling as record lists --
+        a duplicate prefix is discarded by *splitting* the batch at the
+        record boundary.
         """
+        batch: Optional[CVBatch] = None
+        if isinstance(records, CVBatch):
+            batch = records
+            count = batch.n_records
+            first_thread = batch.thread if count else thread
+        else:
+            count = len(records)
+            first_thread = records[0].thread if count else thread
         chaos = self._chaos
         if chaos.injectors is not None:
             decision = chaos.consult(
                 "deliver",
-                thread=records[0].thread if records else thread,
+                thread=first_thread,
                 position=position,
-                count=len(records),
+                count=count,
             )
             if decision.action is sites.Action.DROP:
                 self._batches_dropped.inc()
                 return
         if position is not None:
-            if records:
-                thread = records[0].thread
+            if count:
+                thread = first_thread
             elif thread is None:
                 raise ValueError(
                     "empty tracked shipment: gap tracking needs an "
@@ -115,13 +131,26 @@ class RedoReceiver:
             elif position < expected:
                 # redelivery (duplicated or reordered shipment): the
                 # prefix up to the watermark already landed -- discard it
-                already = min(expected - position, len(records))
+                already = min(expected - position, count)
                 self._duplicates_discarded.inc(already)
-                records = records[already:]
+                if batch is not None:
+                    batch = batch.slice_records(already, count)
+                else:
+                    records = records[already:]
+                count -= already
                 position = expected
-            self._expected_position[thread] = position + len(records)
-            self.records_landed[thread] += len(records)
+            self._expected_position[thread] = position + count
+            self.records_landed[thread] += count
         tracer = obs.tracer_of(self._obs)
+        if batch is not None:
+            if count:
+                self._queues[batch.thread].append(batch)
+                if batch.last_scn > self.received_scn[batch.thread]:
+                    self.received_scn[batch.thread] = batch.last_scn
+                if tracer is not None:
+                    for view in batch.record_views():
+                        tracer.record_received(view)
+            return
         for record in records:
             self._queues[record.thread].append(record)
             if record.scn > self.received_scn[record.thread]:
@@ -162,7 +191,7 @@ class RedoReceiver:
     def threads(self) -> list[InstanceId]:
         return list(self._queues)
 
-    def queue(self, thread: InstanceId) -> deque[RedoRecord]:
+    def queue(self, thread: InstanceId) -> deque:
         return self._queues[thread]
 
     def pending(self) -> int:
@@ -190,12 +219,16 @@ class LogShipper(Actor):
         batch: int = 256,
         node: Optional[CpuNode] = None,
         name: Optional[str] = None,
+        columnar: bool = False,
     ) -> None:
         self._reader: LogReader = log.reader()
         self._receiver = receiver
         self.latency = latency
         self.batch = batch
         self.node = node
+        #: Ship columnar CVBatches instead of record lists (vectorized
+        #: ingest); chaos decisions are per shipment in both modes.
+        self.columnar = columnar
         self.name = name or f"shipper-t{log.thread}"
         self._obs = obs.current()
         self._records_dropped = obs.counter(
@@ -220,6 +253,9 @@ class LogShipper(Actor):
             return None
         receiver = self._receiver
         latency = self.latency
+        payload = (
+            CVBatch.from_records(records) if self.columnar else records
+        )
         chaos = self._chaos
         if chaos.injectors is not None:
             decision = chaos.consult(
@@ -238,14 +274,14 @@ class LogShipper(Actor):
             elif decision.action is sites.Action.DUPLICATE:
                 sched.call_after(
                     latency + self.latency,
-                    lambda: receiver.deliver(records, position),
+                    lambda: receiver.deliver(payload, position),
                 )
         tracer = obs.tracer_of(self._obs)
         if tracer is not None:
             for record in records:
                 tracer.record_shipped(record)
         sched.call_after(
-            latency, lambda: receiver.deliver(records, position)
+            latency, lambda: receiver.deliver(payload, position)
         )
         return self.COST_PER_RECORD * len(records)
 
@@ -274,6 +310,7 @@ class FanOutLogShipper(Actor):
         batch: int = 256,
         node: Optional[CpuNode] = None,
         name: Optional[str] = None,
+        columnar: bool = False,
     ) -> None:
         self._reader: LogReader = log.reader()
         self.thread = log.thread
@@ -281,6 +318,9 @@ class FanOutLogShipper(Actor):
         self.latency = latency
         self.batch = batch
         self.node = node
+        #: Ship one shared columnar CVBatch to every member (arrays are
+        #: immutable in flight; per-member chaos still decides per copy).
+        self.columnar = columnar
         self.name = name or f"fanout-shipper-t{log.thread}"
         self._obs = obs.current()
         self._records_dropped = obs.counter(
@@ -317,6 +357,9 @@ class FanOutLogShipper(Actor):
         if tracer is not None:
             for record in records:
                 tracer.record_shipped(record)
+        payload = (
+            CVBatch.from_records(records) if self.columnar else records
+        )
         chaos = self._chaos
         for dest, receiver in self._destinations.items():
             latency = self.latency
@@ -338,10 +381,10 @@ class FanOutLogShipper(Actor):
                 elif decision.action is sites.Action.DUPLICATE:
                     sched.call_after(
                         latency + self.latency,
-                        lambda r=receiver: r.deliver(records, position),
+                        lambda r=receiver: r.deliver(payload, position),
                     )
             sched.call_after(
-                latency, lambda r=receiver: r.deliver(records, position)
+                latency, lambda r=receiver: r.deliver(payload, position)
             )
         return self.COST_PER_RECORD * len(records) * max(
             1, len(self._destinations)

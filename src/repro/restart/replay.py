@@ -125,11 +125,7 @@ def replay_tail(
     report.tail_end_scn = tail_end
     if floor == 0 or tail_end < floor:
         return
-    queued = {
-        id(cv)
-        for queue in standby.distributor.queues
-        for __, cv in queue
-    }
+    queued = set(map(id, standby.distributor.queued_cvs()))
     miner = standby.miner
     miner.tail_mode = True
     try:

@@ -1,0 +1,204 @@
+"""Batched vs record-at-a-time ingest equivalence (DESIGN.md section 15).
+
+The columnar ingest path (``ApplyConfig.ingest = "batched"``) is a pure
+performance transformation: for any redo stream it must leave the standby
+in exactly the state the record-at-a-time oracle produces.  Hypothesis
+drives randomized histories -- multi-transaction DML, rollbacks, DDL
+markers (CREATE TABLE mid-stream), TRUNCATEs, and stretches that ship
+only control CVs or heartbeats (empty batches from the miner's point of
+view) -- through **two deployments in lockstep** from the same seed: one
+batched, one records.  After every scheduler slice we compare
+
+* the published QuerySCN sequence (``query_scn.history``, value-exact),
+* standby store contents at the published snapshot,
+* journal / commit-table occupancy and the journal floor.
+
+Matching histories (not just final states) proves batching never changes
+*when* visibility advances, only how much work each advancement costs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import ApplyConfig, IMCSConfig, SystemConfig
+from repro.db import ColumnDef, Deployment, InMemoryService, TableDef
+
+
+def build_deployment(seed: int, ingest: str) -> Deployment:
+    config = SystemConfig(
+        imcs=IMCSConfig(
+            imcu_target_rows=32,
+            population_workers=1,
+            repopulate_invalid_fraction=0.3,
+            repopulate_min_interval=0.05,
+        ),
+        apply=ApplyConfig(n_workers=3, ingest=ingest),
+        seed=seed,
+    )
+    deployment = Deployment.build(config=config)
+    deployment.create_table(
+        TableDef(
+            "T",
+            (
+                ColumnDef.number("id", nullable=False),
+                ColumnDef.number("n1"),
+                ColumnDef.varchar("c1"),
+            ),
+            rows_per_block=4,
+            indexes=("id",),
+        )
+    )
+    return deployment
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 200)),
+        st.tuples(st.just("update"), st.integers(0, 30)),
+        st.tuples(st.just("delete"), st.integers(0, 30)),
+        st.tuples(st.just("commit"), st.just(0)),
+        st.tuples(st.just("rollback"), st.just(0)),
+        st.tuples(st.just("new_txn"), st.just(0)),
+        # DDL marker mid-stream: a second table materialises over redo
+        st.tuples(st.just("ddl"), st.just(0)),
+        # whole-object TRUNCATE: block-level CVs + marker
+        st.tuples(st.just("truncate"), st.just(0)),
+        # idle slices ship heartbeat/control-only (empty) batches
+        st.tuples(st.just("run"), st.integers(1, 20)),
+        st.tuples(st.just("check"), st.just(0)),
+    ),
+    min_size=5,
+    max_size=50,
+)
+
+
+class Lockstep:
+    """The same client history applied to a batched and a records
+    deployment, compared after every scheduler slice."""
+
+    def __init__(self, seed: int):
+        self.batched = build_deployment(seed, ingest="batched")
+        self.oracle = build_deployment(seed, ingest="records")
+        self.pair = (self.batched, self.oracle)
+        for d in self.pair:
+            d.enable_inmemory("T", service=InMemoryService.BOTH)
+        self.txns = [[d.primary.begin()] for d in self.pair]
+        self.rowids: list = []  # rowids agree: same seed, same history
+        self.ddl_count = 0
+
+    def active(self, i):
+        if not self.txns[i][-1].is_active:
+            self.txns[i].append(self.pair[i].primary.begin())
+        return self.txns[i][-1]
+
+    def both(self, fn):
+        outcomes = []
+        for i, d in enumerate(self.pair):
+            try:
+                outcomes.append((True, fn(i, d)))
+            except Exception as exc:  # row-lock conflict etc.
+                outcomes.append((False, type(exc).__name__))
+        assert outcomes[0] == outcomes[1] or (
+            outcomes[0][0] == outcomes[1][0]
+        ), f"divergent client outcome: {outcomes}"
+        return outcomes[0][0]
+
+    def compare(self):
+        b, o = self.batched, self.oracle
+        assert (
+            b.standby.query_scn.history == o.standby.query_scn.history
+        ), "published QuerySCN sequences diverged"
+        assert b.standby.query_scn.value == o.standby.query_scn.value
+        # journal / commit table occupancy and floor
+        assert b.standby.journal.anchor_count == o.standby.journal.anchor_count
+        assert b.standby.journal.record_count == o.standby.journal.record_count
+        assert b.standby.journal.min_first_scn() == (
+            o.standby.journal.min_first_scn()
+        )
+        assert len(b.standby.commit_table) == len(o.standby.commit_table)
+        # store contents at the published snapshot
+        for name in ["T"] + [f"T{i}" for i in range(self.ddl_count)]:
+            rows_b = sorted(b.standby.query(name).rows)
+            rows_o = sorted(o.standby.query(name).rows)
+            assert rows_b == rows_o, f"standby rows diverged on {name}"
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops=OPS, seed=st.integers(0, 2**20))
+def test_batched_ingest_matches_record_oracle(ops, seed):
+    step = Lockstep(seed)
+    rng_ids = iter(range(10_000, 100_000))
+
+    for kind, arg in ops:
+        if kind == "insert":
+            value = next(rng_ids)
+
+            def do_insert(i, d, value=value, arg=arg):
+                txn = step.active(i)
+                d.primary.insert(txn, "T", (value, float(arg), f"v{arg % 7}"))
+                return txn.changes[-1].rowid
+
+            if step.both(do_insert):
+                step.rowids.append(step.txns[0][-1].changes[-1].rowid)
+        elif kind in ("update", "delete") and step.rowids:
+            rowid = step.rowids[arg % len(step.rowids)]
+
+            def do_dml(i, d, rowid=rowid, kind=kind, arg=arg):
+                txn = step.active(i)
+                if kind == "update":
+                    d.primary.update(txn, "T", rowid, {"n1": float(arg) * 2})
+                else:
+                    d.primary.delete(txn, "T", rowid)
+
+            ok = step.both(do_dml)
+            if ok and kind == "delete":
+                step.rowids.remove(rowid)
+        elif kind == "commit":
+            step.both(lambda i, d: d.primary.commit(step.active(i)))
+        elif kind == "rollback":
+            removed = {
+                c.rowid
+                for c in step.txns[0][-1].changes
+                if c.kind.name == "INSERT"
+            }
+            step.both(lambda i, d: d.primary.rollback(step.active(i)))
+            step.rowids[:] = [r for r in step.rowids if r not in removed]
+        elif kind == "new_txn":
+            for i, d in enumerate(step.pair):
+                step.txns[i].append(d.primary.begin())
+        elif kind == "ddl":
+            name = f"T{step.ddl_count}"
+            step.ddl_count += 1
+            for d in step.pair:
+                d.create_table(
+                    TableDef(
+                        name,
+                        (ColumnDef.number("id", nullable=False),),
+                        rows_per_block=4,
+                    )
+                )
+                d.enable_inmemory(name, service=InMemoryService.BOTH)
+        elif kind == "truncate":
+            step.both(lambda i, d: d.primary.truncate_table("T"))
+        elif kind == "run":
+            for d in step.pair:
+                d.run(arg / 100.0)
+            step.compare()
+        elif kind == "check":
+            for d in step.pair:
+                d.run(0.05)
+            step.compare()
+
+    for i, d in enumerate(step.pair):
+        for txn in step.txns[i]:
+            if txn.is_active:
+                d.primary.rollback(txn)
+    for d in step.pair:
+        d.catch_up()
+    step.compare()
