@@ -18,13 +18,22 @@ workers' CV stream, invalidation flush rides QuerySCN advancement, and
 population synchronises with publication through the quiesce lock.
 """
 
-from repro.adg.queryscn import QuerySCNPublisher
+from repro.adg.queryscn import ListenerFanoutError, QuerySCNPublisher
 from repro.adg.merger import LogMerger
 from repro.adg.apply import ApplyDistributor, ApplyStall, RecoveryWorker, CVApplier
 from repro.adg.coordinator import RecoveryCoordinator, AdvanceProtocol
+from repro.adg.strategy import (
+    BatchedQuiesceStrategy,
+    ConsistencyPointStrategy,
+    DeferredDrainStrategy,
+    EagerFlushStrategy,
+    STRATEGIES,
+    create_strategy,
+)
 
 __all__ = [
     "QuerySCNPublisher",
+    "ListenerFanoutError",
     "LogMerger",
     "ApplyDistributor",
     "ApplyStall",
@@ -32,4 +41,10 @@ __all__ = [
     "CVApplier",
     "RecoveryCoordinator",
     "AdvanceProtocol",
+    "ConsistencyPointStrategy",
+    "EagerFlushStrategy",
+    "DeferredDrainStrategy",
+    "BatchedQuiesceStrategy",
+    "STRATEGIES",
+    "create_strategy",
 ]

@@ -30,6 +30,7 @@ from repro.common.scn import SCN
 from repro.adg.apply import ApplyDistributor, RecoveryWorker
 from repro.adg.merger import LogMerger
 from repro.adg.queryscn import QuerySCNPublisher
+from repro.adg.strategy import ConsistencyPointStrategy, EagerFlushStrategy
 from repro.sim.cpu import CpuNode
 from repro.sim.scheduler import Actor, Scheduler
 
@@ -70,8 +71,11 @@ class RecoveryCoordinator(Actor):
     advancements = obs.view("_advancements")
     publish_latency_total = obs.view("_publish_latency_total")
     quiesce_wait_retries = obs.view("_quiesce_wait_retries")
-    #: Publications postponed by an installed chaos fault.
+    #: Publications postponed by an installed chaos STALL fault.
     publish_stalls = obs.view("_publish_stalls")
+    #: Publications postponed by an installed chaos DELAY fault (counted
+    #: separately: a delay names its own duration, a stall retries).
+    publish_delays = obs.view("_publish_delays")
     #: Wall time publications spent blocked on chaos stalls or the
     #: quiesce lock -- excluded from the *adjusted* latency metrics.
     publish_stall_time_total = obs.view("_publish_stall_time_total")
@@ -89,6 +93,7 @@ class RecoveryCoordinator(Actor):
         flush_batch: int = 32,
         node: Optional[CpuNode] = None,
         name: str = "recovery-coordinator",
+        strategy: Optional[ConsistencyPointStrategy] = None,
     ) -> None:
         self.merger = merger
         self.distributor = distributor
@@ -96,6 +101,8 @@ class RecoveryCoordinator(Actor):
         self.query_scn = query_scn
         self.quiesce_lock = quiesce_lock
         self.advance_protocol = advance_protocol
+        self.strategy = strategy or EagerFlushStrategy()
+        self.strategy.bind(self)
         self.interval = interval
         self.distribute_batch = distribute_batch
         self.flush_batch = flush_batch
@@ -114,6 +121,7 @@ class RecoveryCoordinator(Actor):
             "adg.coordinator.quiesce_wait_retries"
         )
         self._publish_stalls = obs.counter("adg.coordinator.publish_stalls")
+        self._publish_delays = obs.counter("adg.coordinator.publish_delays")
         self._publish_stall_time_total = obs.counter(
             "adg.coordinator.publish_stall_time_total"
         )
@@ -158,27 +166,36 @@ class RecoveryCoordinator(Actor):
             routed = self.distributor.distribute(records)
             cost += COORDINATION_COST + 1e-7 * routed
 
-        if self._advancing_to is None:
+        strategy = self.strategy
+        if self._advancing_to is None or strategy.accepts_new_candidates:
             if sched.now - self._last_check >= self.interval:
                 self._last_check = sched.now
                 cost += COORDINATION_COST
                 candidate = self.consistency_point()
                 if candidate > self.query_scn.value:
-                    self._advancing_to = candidate
-                    self._advance_started_at = sched.now
-                    if self.advance_protocol is not None:
-                        self.advance_protocol.begin_advance(candidate)
+                    if self._advancing_to is None:
+                        self._advancing_to = candidate
+                        self._advance_started_at = sched.now
+                        strategy.begin(candidate, sched.now)
+                    else:
+                        strategy.offer(candidate, sched.now)
+                        if candidate > self._advancing_to:
+                            self._advancing_to = candidate
         if self._advancing_to is not None:
             cost += self._continue_advance(sched)
+        elif strategy.pending_background():
+            # deferred (post-publication) work, e.g. journal anchor
+            # retirement staged past the quiesce window
+            drained = strategy.background_drain(self.flush_batch)
+            cost += FLUSH_COST_PER_NODE * max(drained, 1)
         return cost if cost > 0 else None
 
     # ------------------------------------------------------------------
     def _continue_advance(self, sched: Scheduler) -> float:
         cost = 0.0
-        target = self._advancing_to
-        assert target is not None
-        if self.advance_protocol is not None:
-            flushed = self.advance_protocol.coordinator_flush(self.flush_batch)
+        strategy = self.strategy
+        flushed = strategy.drain(self.flush_batch)
+        if flushed is not None:
             cost += FLUSH_COST_PER_NODE * max(flushed, 1)
             if flushed < 0:
                 # worklink exists but draining is blocked: waiting, not
@@ -188,18 +205,28 @@ class RecoveryCoordinator(Actor):
             elif self._stalled_since is not None:
                 self._stall_accum += sched.now - self._stalled_since
                 self._stalled_since = None
-            if not self.advance_protocol.is_advance_complete():
+            if not strategy.ready():
                 return cost
         # Invalidation flush done: enter the quiesce period and publish.
+        target = strategy.publish_scn()
+        assert target is not None
         chaos = self._chaos
         if chaos.injectors is not None:
             decision = chaos.consult("publish", target=target)
-            if decision.action in (sites.Action.STALL, sites.Action.DELAY):
+            if decision.action is sites.Action.STALL:
                 # hold the publication; retried on the next step
                 self._publish_stalls.inc()
                 if self._stalled_since is None:
                     self._stalled_since = sched.now
                 return cost + COORDINATION_COST
+            if decision.action is sites.Action.DELAY:
+                # hold the publication for the injected duration: the
+                # delay rides on the rescheduling cost so the retry only
+                # happens once the delay has elapsed
+                self._publish_delays.inc()
+                if self._stalled_since is None:
+                    self._stalled_since = sched.now
+                return cost + COORDINATION_COST + max(decision.delay, 0.0)
         if not self.quiesce_lock.try_acquire_exclusive(self):
             # population is mid-capture; retry next step
             self._quiesce_wait_retries.inc()
@@ -207,11 +234,14 @@ class RecoveryCoordinator(Actor):
                 self._stalled_since = sched.now
             return cost + COORDINATION_COST
         try:
+            # strategy work that belongs inside the quiesce window, e.g.
+            # swapping staged SMU masks in, strictly pre-publication
+            applied = strategy.pre_publish(target)
+            cost += FLUSH_COST_PER_NODE * applied
             self.query_scn.publish(target, at_time=sched.now)
         finally:
             self.quiesce_lock.release_exclusive(self)
-        if self.advance_protocol is not None:
-            self.advance_protocol.finish_advance(target)
+        strategy.post_publish(target)
         self._advancements.inc()
         latency = sched.now - self._advance_started_at
         # time this advancement spent *blocked* (injected stall, blocked
@@ -243,6 +273,10 @@ class RecoveryCoordinator(Actor):
         self._advancing_to = None
         self._stalled_since = None
         self._stall_accum = 0.0
+        # the pre-restart check timestamp must not defer the first
+        # post-restart consistency-point check by a stale interval
+        self._last_check = -1.0
+        self.strategy.reset()
 
     @property
     def mean_publish_latency(self) -> float:

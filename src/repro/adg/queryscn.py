@@ -13,8 +13,30 @@ from __future__ import annotations
 from typing import Callable
 
 from repro import obs
-from repro.common.errors import InvalidStateError
+from repro.common.errors import InvalidStateError, ReproError
 from repro.common.scn import NULL_SCN, SCN
+
+
+class ListenerFanoutError(ReproError):
+    """One or more publication listeners raised during fan-out.
+
+    The publication itself is complete -- ``value``/``history`` advanced
+    and **every** listener was notified (a poisoned listener must not
+    leave later listeners, e.g. non-master RAC coordinators or fleet lag
+    samplers, permanently behind).  The individual exceptions are kept
+    on :attr:`errors`.
+    """
+
+    def __init__(self, scn: SCN, errors: list[BaseException]) -> None:
+        self.scn = scn
+        self.errors = errors
+        detail = "; ".join(
+            f"{type(e).__name__}: {e}" for e in errors
+        )
+        super().__init__(
+            f"{len(errors)} listener(s) raised during publication of "
+            f"QuerySCN {scn}: {detail}"
+        )
 
 
 class QuerySCNPublisher:
@@ -52,8 +74,17 @@ class QuerySCNPublisher:
         tracer = obs.tracer_of(self._obs)
         if tracer is not None:
             tracer.record_published(scn)
+        # Notify *every* listener even if one raises: the publication has
+        # already happened (value/history advanced above), so aborting
+        # the fan-out would leave later listeners permanently behind.
+        errors: list[BaseException] = []
         for listener in self._listeners:
-            listener(scn)
+            try:
+                listener(scn)
+            except Exception as exc:  # noqa: BLE001 -- aggregated below
+                errors.append(exc)
+        if errors:
+            raise ListenerFanoutError(scn, errors)
 
     def __repr__(self) -> str:
         return f"QuerySCNPublisher(value={self._value})"

@@ -1,0 +1,318 @@
+"""Pluggable consistency-point strategies for QuerySCN advancement.
+
+The paper's III-D protocol (chop -> drain -> quiesce -> publish) is one
+point in a family of consistent-snapshot algorithms (Li et al., "A
+Comparative Study of Consistent Snapshot Algorithms"): the same
+correctness obligation -- *every invalidation with commitSCN <= S is
+applied before S becomes visible* -- admits different schedules for the
+drain and quiesce work.  This module factors the schedule out of
+:class:`~repro.adg.coordinator.RecoveryCoordinator` behind
+:class:`ConsistencyPointStrategy` and ships three implementations:
+
+* :class:`EagerFlushStrategy` -- the paper's protocol, verbatim: drain
+  the whole worklink to the SMUs, then quiesce and publish.  The default
+  and the correctness oracle for the others.
+* :class:`DeferredDrainStrategy` -- ZigZag/ping-pong flavoured: the
+  worklink drains into a *staging buffer* (the shadow side of the
+  double buffer) instead of the live SMU masks; the staged masks are
+  swapped in inside the quiesce window, and journal anchor retirement
+  is deferred past publication entirely.  Publication latency stops
+  paying for SMU mask writes; the quiesce window pays a short batched
+  apply instead.
+* :class:`BatchedQuiesceStrategy` -- CALC-style asynchronous barrier:
+  while a drained advancement waits, newer consistency points are folded
+  into the same in-flight advancement (re-chopping the commit table for
+  the higher target), so one quiesce window publishes several
+  consistency points' worth of progress.  Fewer quiesce acquisitions,
+  slightly later visibility.
+
+Every strategy must leave the visible-row relation identical at each
+published QuerySCN -- ``tests/property/test_strategy_equivalence.py``
+drives randomized histories through all registered strategies against
+the primary's Consistent Read as oracle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.scn import SCN
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.adg.coordinator import RecoveryCoordinator
+    from repro.common.config import AdvanceConfig
+
+
+class ConsistencyPointStrategy:
+    """How the coordinator schedules drain/quiesce work for a target SCN.
+
+    The coordinator keeps everything generic -- candidate computation,
+    stall accounting, the chaos site, quiesce acquisition, publication
+    and metrics -- and delegates the protocol-shaped decisions here.
+    The strategy reads ``coordinator.advance_protocol`` *dynamically*
+    (tests swap it after construction), so it must never cache it.
+    """
+
+    name = "base"
+    #: Whether the coordinator keeps running interval checks while an
+    #: advancement is in flight, feeding newer candidates to
+    #: :meth:`offer` (the CALC-style barrier wants them; the others
+    #: ignore mid-flight candidates entirely).
+    accepts_new_candidates = False
+
+    def __init__(self) -> None:
+        self.coordinator: Optional["RecoveryCoordinator"] = None
+        #: Target SCN of the in-flight advancement (mirrors the
+        #: coordinator's ``_advancing_to`` for the simple strategies).
+        self.target: Optional[SCN] = None
+
+    def bind(self, coordinator: "RecoveryCoordinator") -> None:
+        self.coordinator = coordinator
+
+    @property
+    def protocol(self):
+        assert self.coordinator is not None
+        return self.coordinator.advance_protocol
+
+    # -- advancement lifecycle ------------------------------------------
+    def begin(self, candidate: SCN, now: float) -> None:
+        """A new advancement starts towards ``candidate``."""
+        raise NotImplementedError
+
+    def offer(self, candidate: SCN, now: float) -> None:
+        """A newer consistency point computed mid-advancement (only
+        called when :attr:`accepts_new_candidates`)."""
+
+    def drain(self, batch: int) -> Optional[int]:
+        """One slice of drain work.  Returns nodes processed, ``-1``
+        when a worklink exists but draining is blocked, or ``None`` when
+        there is no flush protocol at all (plain ADG: no drain phase,
+        no flush cost)."""
+        raise NotImplementedError
+
+    def ready(self) -> bool:
+        """True once the strategy is willing to enter the quiesce
+        window.  Only consulted when :meth:`drain` returned non-None."""
+        raise NotImplementedError
+
+    def publish_scn(self) -> SCN:
+        """The SCN this advancement publishes (the barrier strategy may
+        have folded newer targets in since :meth:`begin`)."""
+        assert self.target is not None
+        return self.target
+
+    def pre_publish(self, scn: SCN) -> int:
+        """Work that must run inside the quiesce window, strictly before
+        the publication (e.g. swapping staged SMU masks in).  Returns a
+        unit count the coordinator converts into simulated cost."""
+        return 0
+
+    def post_publish(self, scn: SCN) -> None:
+        """Post-publication bookkeeping (``finish_advance``)."""
+        self.target = None
+
+    # -- background (out-of-critical-path) work -------------------------
+    def pending_background(self) -> bool:
+        """Deferred work available while no advancement is in flight."""
+        return False
+
+    def background_drain(self, batch: int) -> int:
+        """One slice of deferred work; returns units processed."""
+        return 0
+
+    def reset(self) -> None:
+        """Instance restart: abandon all in-flight strategy state."""
+        self.target = None
+
+
+class EagerFlushStrategy(ConsistencyPointStrategy):
+    """The paper's III-D protocol: fully drain, then quiesce + publish."""
+
+    name = "eager"
+
+    def begin(self, candidate: SCN, now: float) -> None:
+        self.target = candidate
+        protocol = self.protocol
+        if protocol is not None:
+            protocol.begin_advance(candidate)
+
+    def drain(self, batch: int) -> Optional[int]:
+        protocol = self.protocol
+        if protocol is None:
+            return None
+        return protocol.coordinator_flush(batch)
+
+    def ready(self) -> bool:
+        protocol = self.protocol
+        return protocol is None or protocol.is_advance_complete()
+
+    def post_publish(self, scn: SCN) -> None:
+        protocol = self.protocol
+        if protocol is not None:
+            protocol.finish_advance(scn)
+        self.target = None
+
+
+class DeferredDrainStrategy(EagerFlushStrategy):
+    """ZigZag-flavoured double buffering: drain to a shadow buffer.
+
+    The worklink drains into the flush component's staging buffer
+    (invalidation listeners still fire at stage time, strictly
+    pre-publication -- the result cache's contract).  The staged SMU
+    mask writes are applied in one batch inside the quiesce window
+    (:meth:`pre_publish`), and journal anchor retirement -- the other
+    half of the critical-path work -- happens *after* publication via
+    the coordinator's background drain.
+
+    Staging requires a synchronous router (local SMU application): with
+    an async interconnect router (SIRA RAC) the strategy degrades to
+    plain eager drain per-advancement, keeping RAC semantics intact.
+    """
+
+    name = "deferred"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._staged_this_advance = False
+
+    @staticmethod
+    def _stageable(protocol) -> bool:
+        return (
+            hasattr(protocol, "set_staged")
+            and getattr(protocol, "router_is_synchronous", False)
+        )
+
+    def begin(self, candidate: SCN, now: float) -> None:
+        self.target = candidate
+        protocol = self.protocol
+        if protocol is None:
+            return
+        self._staged_this_advance = self._stageable(protocol)
+        if hasattr(protocol, "set_staged"):
+            protocol.set_staged(self._staged_this_advance)
+        protocol.begin_advance(candidate)
+
+    def pre_publish(self, scn: SCN) -> int:
+        protocol = self.protocol
+        if protocol is None or not self._staged_this_advance:
+            return 0
+        return protocol.apply_staged()
+
+    def post_publish(self, scn: SCN) -> None:
+        super().post_publish(scn)
+        self._staged_this_advance = False
+
+    def pending_background(self) -> bool:
+        protocol = self.protocol
+        return bool(getattr(protocol, "has_pending_retire", False))
+
+    def background_drain(self, batch: int) -> int:
+        protocol = self.protocol
+        if protocol is None:
+            return 0
+        return protocol.retire_staged(batch)
+
+    def reset(self) -> None:
+        super().reset()
+        self._staged_this_advance = False
+
+
+class BatchedQuiesceStrategy(EagerFlushStrategy):
+    """CALC-style asynchronous barrier: several points per quiesce.
+
+    After the current worklink drains, the advancement does not rush to
+    the quiesce window; instead, newer consistency points computed on
+    the coordinator's interval ticks are folded in by re-chopping the
+    commit table up to the higher target (safe exactly because the
+    previous worklink is fully drained).  The barrier closes -- and one
+    publication covers every folded point -- when ``barrier_width``
+    points accumulated or a tick brings no higher candidate.
+    """
+
+    name = "batched"
+    accepts_new_candidates = True
+
+    def __init__(self, barrier_width: int = 4) -> None:
+        super().__init__()
+        self.barrier_width = max(1, barrier_width)
+        self._points = 0
+        self._closed = False
+
+    def begin(self, candidate: SCN, now: float) -> None:
+        super().begin(candidate, now)
+        self._points = 1
+        self._closed = self.barrier_width <= 1 or self.protocol is None
+
+    def offer(self, candidate: SCN, now: float) -> None:
+        protocol = self.protocol
+        if self._closed or protocol is None:
+            return
+        if not protocol.is_advance_complete():
+            return  # still draining the current chop; fold in later
+        assert self.target is not None
+        if candidate <= self.target:
+            # no progress since the drain finished: close the barrier so
+            # the publication is not postponed indefinitely (liveness)
+            self._closed = True
+            return
+        protocol.begin_advance(candidate)
+        self.target = candidate
+        self._points += 1
+        if self._points >= self.barrier_width:
+            self._closed = True
+
+    def ready(self) -> bool:
+        protocol = self.protocol
+        if protocol is None:
+            return True
+        return self._closed and protocol.is_advance_complete()
+
+    def post_publish(self, scn: SCN) -> None:
+        super().post_publish(scn)
+        self._points = 0
+        self._closed = False
+
+    def reset(self) -> None:
+        super().reset()
+        self._points = 0
+        self._closed = False
+
+
+# ----------------------------------------------------------------------
+#: Registry of strategy names -> factory.  The equivalence property test
+#: iterates this, so registering a strategy opts it into the oracle.
+STRATEGIES: dict[str, type[ConsistencyPointStrategy]] = {
+    EagerFlushStrategy.name: EagerFlushStrategy,
+    DeferredDrainStrategy.name: DeferredDrainStrategy,
+    BatchedQuiesceStrategy.name: BatchedQuiesceStrategy,
+}
+
+
+def create_strategy(
+    config: Optional["AdvanceConfig"] = None,
+) -> ConsistencyPointStrategy:
+    """Build the strategy an :class:`~repro.common.config.AdvanceConfig`
+    names (default: eager)."""
+    if config is None:
+        return EagerFlushStrategy()
+    try:
+        cls = STRATEGIES[config.strategy]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise ValueError(
+            f"unknown consistency-point strategy {config.strategy!r}; "
+            f"known: {known}"
+        ) from None
+    if cls is BatchedQuiesceStrategy:
+        return BatchedQuiesceStrategy(barrier_width=config.barrier_width)
+    return cls()
+
+
+__all__ = [
+    "ConsistencyPointStrategy",
+    "EagerFlushStrategy",
+    "DeferredDrainStrategy",
+    "BatchedQuiesceStrategy",
+    "STRATEGIES",
+    "create_strategy",
+]

@@ -1,0 +1,43 @@
+"""CDC egress: the standby as a snapshot-equivalent streaming source.
+
+Quickstart (see README / DESIGN.md section 16)::
+
+    deployment.enable_inmemory("T", service=InMemoryService.STANDBY)
+    egress = deployment.start_cdc(tables=["T"])
+    replica = ReplaySubscriber()
+    egress.subscribe(replica, name="replica")
+    ...DML on the primary...
+    deployment.catch_up()
+    deployment.sched.run_until_condition(lambda: egress.drained)
+    assert replica.rows("T") == sorted(deployment.standby.query("T").rows)
+"""
+
+from repro.cdc.backfill import BackfillEngine, BackfillState
+from repro.cdc.egress import CDCEgress, CDCPump, Subscription
+from repro.cdc.events import (
+    BACKFILL,
+    DELETE,
+    DROP,
+    LIVE,
+    RESYNC,
+    UPSERT,
+    ChangeEvent,
+)
+from repro.cdc.subscribers import CollectingSubscriber, ReplaySubscriber
+
+__all__ = [
+    "BackfillEngine",
+    "BackfillState",
+    "CDCEgress",
+    "CDCPump",
+    "Subscription",
+    "ChangeEvent",
+    "ReplaySubscriber",
+    "CollectingSubscriber",
+    "UPSERT",
+    "DELETE",
+    "RESYNC",
+    "DROP",
+    "LIVE",
+    "BACKFILL",
+]

@@ -1,0 +1,59 @@
+"""Change-feed event model.
+
+Every event is stamped with the *certified cut* it belongs to: the
+published QuerySCN at which its row image (or absence) was resolved.
+Because the egress resolves rows inside the publication's quiesce window,
+an event's ``values`` are exactly the row's Consistent Read image at
+``scn`` -- the snapshot-equivalence the DBLog-style protocol certifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.ids import ObjectId, RowId
+from repro.common.scn import SCN
+
+#: Row-level kinds carry a rowid (and values for upserts); table-level
+#: kinds (resync/drop) reset downstream state for the whole table.
+UPSERT = "upsert"
+DELETE = "delete"
+RESYNC = "resync"
+DROP = "drop"
+
+#: Where the event came from: the live mined-invalidation path or a
+#: chunked backfill select.
+LIVE = "live"
+BACKFILL = "backfill"
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeEvent:
+    """One change-feed entry, certified at QuerySCN ``scn``."""
+
+    kind: str                     # UPSERT / DELETE / RESYNC / DROP
+    table: str
+    object_id: ObjectId
+    scn: SCN                      # the certified cut (published QuerySCN)
+    rowid: Optional[RowId] = None
+    values: Optional[tuple] = None
+    source: str = LIVE            # LIVE / BACKFILL
+
+    def __repr__(self) -> str:
+        where = f" {self.rowid}" if self.rowid is not None else ""
+        return (
+            f"ChangeEvent({self.kind}:{self.source} {self.table}{where} "
+            f"@ {self.scn})"
+        )
+
+
+__all__ = [
+    "ChangeEvent",
+    "UPSERT",
+    "DELETE",
+    "RESYNC",
+    "DROP",
+    "LIVE",
+    "BACKFILL",
+]

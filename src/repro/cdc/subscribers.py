@@ -1,0 +1,55 @@
+"""Stock subscribers: replay (materialise the feed) and collect (log it).
+
+:class:`ReplaySubscriber` is the equivalence oracle used by the tests
+and the chaos scenario: applying the feed in delivery order must
+reconstruct, for every captured table, exactly the rows the standby
+sees at the latest certified cut it has consumed.
+"""
+
+from __future__ import annotations
+
+from repro.cdc.events import DELETE, DROP, RESYNC, UPSERT, ChangeEvent
+
+
+class ReplaySubscriber:
+    """Materialises the change feed into per-table rowid -> values maps."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, dict] = {}
+        #: Highest certified cut consumed per table.
+        self.cut_scn: dict[str, int] = {}
+        self.events_applied = 0
+
+    def on_event(self, event: ChangeEvent) -> None:
+        self.events_applied += 1
+        self.cut_scn[event.table] = max(
+            self.cut_scn.get(event.table, 0), event.scn
+        )
+        if event.kind == UPSERT:
+            self.tables.setdefault(event.table, {})[event.rowid] = (
+                event.values
+            )
+        elif event.kind == DELETE:
+            self.tables.get(event.table, {}).pop(event.rowid, None)
+        elif event.kind == RESYNC:
+            self.tables[event.table] = {}
+        elif event.kind == DROP:
+            self.tables.pop(event.table, None)
+            self.cut_scn.pop(event.table, None)
+
+    def rows(self, table: str) -> list[tuple]:
+        """The replayed row set, sorted for comparison against a scan."""
+        return sorted(self.tables.get(table, {}).values())
+
+
+class CollectingSubscriber:
+    """Keeps every delivered event, in order (for assertions on shape)."""
+
+    def __init__(self) -> None:
+        self.events: list[ChangeEvent] = []
+
+    def on_event(self, event: ChangeEvent) -> None:
+        self.events.append(event)
+
+
+__all__ = ["ReplaySubscriber", "CollectingSubscriber"]

@@ -25,7 +25,11 @@ The roster (each maps to a failure mode discussed in the paper):
 * ``standby_loss_mid_wave`` -- a reader-farm member dies mid client
   wave: the router drains and rebinds its sessions, never routes to the
   unmounted member, and every queued read-your-writes waiter admits on
-  a qualifying member or expires with its deadline error.
+  a qualifying member or expires with its deadline error;
+* ``cdc_backfill_storm`` -- a CDC subscriber attaches mid-workload
+  while watermark windows stall, delivery parks, a TRUNCATE lands
+  mid-backfill and publication is held back; the replayed feed must
+  still equal the standby's table.
 
 Scenarios import the database layer lazily so that ``repro.chaos`` stays
 importable from inside pipeline modules (they only need ``sites``).
@@ -777,6 +781,130 @@ class StandbyLossMidWave(Scenario):
 
 
 # ----------------------------------------------------------------------
+class _CDCFeedMatchesStandby(Invariant):
+    """After the feed drains, replaying every emitted change event must
+    reconstruct exactly the standby's visible rows -- through the
+    backfill chunks, the live certified cuts and any mid-cut resyncs."""
+
+    name = "cdc_feed_matches_standby"
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+
+    def check(self, ctx: ChaosContext) -> InvariantResult:
+        egress = ctx.extra["cdc_egress"]
+        replica = ctx.extra["cdc_replica"]
+        if not egress.drained:
+            return self._result(
+                False,
+                f"egress never drained: {egress.emitted} emitted, "
+                f"{egress.resolved} cuts resolved so far",
+            )
+        expected = sorted(ctx.deployment.standby.query(self.table).rows)
+        got = replica.rows(self.table)
+        if got != expected:
+            return self._result(
+                False,
+                f"replayed feed diverges from the standby: "
+                f"{len(got)} vs {len(expected)} rows",
+            )
+        return self._result(
+            True,
+            f"{len(got)} rows identical after {egress.emitted} events "
+            f"({egress.backfill_rows} backfilled, {egress.resyncs} resyncs)",
+        )
+
+
+class CDCBackfillStorm(Scenario):
+    name = "cdc_backfill_storm"
+    description = (
+        "a CDC subscriber attaches mid-workload: watermark windows are "
+        "stalled and delayed, live emission parks repeatedly, a TRUNCATE "
+        "lands mid-backfill and publication itself is held back -- the "
+        "replayed feed must still equal the standby's table"
+    )
+    bursts = 10
+
+    def build(self, seed: int) -> "Deployment":
+        from repro.cdc import ReplaySubscriber
+
+        deployment = super().build(seed)
+        self._egress = deployment.start_cdc(tables=[self.table])
+        self._replica = ReplaySubscriber()
+        self._egress.subscribe(self._replica, name="replica")
+        return deployment
+
+    def plan(self, seed: int) -> FaultPlan:
+        return (
+            FaultPlan()
+            # stall the first watermark windows before they open...
+            .at(0.05, F.Stall("cdc.backfill", count=4))
+            # ...and delay a window close (widens the live-wins window)
+            .at(0.3, F.Delay("cdc.backfill", by=0.05, count=1,
+                             where=lambda s, e, c: e == "close"))
+            # park subscriber delivery in repeated waves
+            .at(0.4, F.Repeat(
+                lambda: F.Stall("cdc.emit", count=4),
+                times=3, interval=0.3,
+            ))
+            # and hold back the certified cuts themselves
+            .at(0.9, F.Stall("adg.queryscn_publish", count=4))
+        )
+
+    def drive(self, ctx: ChaosContext) -> None:
+        deployment = ctx.deployment
+        rng = random.Random(10_000 + self.bursts)
+        next_id = self.load_rows
+        for burst in range(self.bursts):
+            if burst == self.bursts // 2:
+                # DDL mid-cut: abandon open windows, re-certify from zero
+                deployment.primary.truncate_table(self.table)
+                self._rowids = []
+            txn = deployment.primary.begin()
+            for __ in range(4):
+                rowid = deployment.primary.insert(
+                    txn, self.table,
+                    (next_id, float(next_id), f"v{next_id % 5}"),
+                )
+                self._rowids.append(rowid)
+                next_id += 1
+            for __ in range(self.rows_per_burst):
+                rowid = self._rowids[rng.randrange(len(self._rowids))]
+                deployment.primary.update(
+                    txn, self.table, rowid,
+                    {"n1": float(rng.randrange(10_000))},
+                )
+            deployment.primary.commit(txn)
+            deployment.run(self.burst_gap)
+
+    def finish(self, ctx: ChaosContext) -> None:
+        ctx.deployment.catch_up(timeout=900.0)
+        ctx.deployment.sched.run_until_condition(
+            lambda: self._egress.drained, max_time=120.0
+        )
+        ctx.extra["cdc_egress"] = self._egress
+        ctx.extra["cdc_replica"] = self._replica
+
+    def invariants(self, ctx: ChaosContext) -> list[Invariant]:
+        return standard_invariants(self.table) + [
+            _CDCFeedMatchesStandby(self.table)
+        ]
+
+    def stats(self, ctx: ChaosContext) -> dict[str, int]:
+        stats = super().stats(ctx)
+        egress = self._egress
+        stats.update({
+            "cdc_emitted": int(egress.emitted),
+            "cdc_resolved": int(egress.resolved),
+            "cdc_resyncs": int(egress.resyncs),
+            "cdc_backfill_rows": int(egress.backfill_rows),
+            "cdc_backfill_chunks": int(egress.backfill_chunks),
+            "cdc_backfill_deduped": int(egress.backfill_deduped),
+        })
+        return stats
+
+
+# ----------------------------------------------------------------------
 SCENARIOS: dict[str, type[Scenario]] = {
     cls.name: cls
     for cls in (
@@ -791,6 +919,7 @@ SCENARIOS: dict[str, type[Scenario]] = {
         RACChaos,
         FailoverMidFlush,
         StandbyLossMidWave,
+        CDCBackfillStorm,
     )
 }
 

@@ -50,6 +50,8 @@ KNOWN_SITES = (
     "db.failover",         # failover(): role-transition milestones
     "query.pool",          # QueryWorkerPool: per dequeued morsel
     "restart.checkpoint",  # CheckpointWriter: per object capture
+    "cdc.emit",            # CDCPump: per subscriber delivery round
+    "cdc.backfill",        # BackfillEngine: per window open/close
 )
 
 

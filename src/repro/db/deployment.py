@@ -58,6 +58,8 @@ class Deployment:
         self.standby_cluster = None
         #: Optional query service layer (see start_query_service).
         self.query_service = None
+        #: Optional CDC egress (see start_cdc).
+        self.cdc = None
         #: The metrics registry that was collecting while the pipeline was
         #: constructed (None outside ``obs.collecting``); its ``tracer``
         #: stamps redo through the lifecycle stages.
@@ -165,6 +167,33 @@ class Deployment:
             parallel_backend=parallel_backend,
         )
         return self.query_service
+
+    # ------------------------------------------------------------------
+    # CDC egress (repro.cdc)
+    # ------------------------------------------------------------------
+    def start_cdc(
+        self,
+        tables: Optional[list[str]] = None,
+        backfill: bool = True,
+        pump_batch: int = 64,
+    ):
+        """Attach a CDC egress + pump to the standby.
+
+        ``tables`` must already be in-memory enabled on the standby
+        (mining only journals IMCS-enabled objects, so the feed covers
+        exactly those).  Returns the :class:`~repro.cdc.egress.CDCEgress`;
+        attach subscribers with ``egress.subscribe(...)``.
+        """
+        from repro.cdc import CDCEgress, CDCPump
+
+        egress = CDCEgress(self.standby, self.sched)
+        for name in tables or []:
+            egress.capture(name, backfill=backfill)
+        self.sched.add_actor(
+            CDCPump(egress, batch=pump_batch, node=self.standby.node)
+        )
+        self.cdc = egress
+        return egress
 
     # ------------------------------------------------------------------
     # instant restart (repro.restart)

@@ -36,6 +36,7 @@ from repro.adg.apply import (
 )
 from repro.adg.coordinator import RecoveryCoordinator
 from repro.adg.merger import LogMerger
+from repro.adg.strategy import create_strategy
 from repro.adg.queryscn import QuerySCNPublisher
 from repro.common.config import SystemConfig
 from repro.common.latch import QuiesceLock
@@ -151,6 +152,7 @@ class StandbyDatabase(InMemoryFeaturesMixin):
             interval=apply_cfg.coordinator_interval,
             flush_batch=apply_cfg.coordinator_flush_batch,
             node=self.node,
+            strategy=create_strategy(self.config.advance),
         )
 
         # --- population (QuerySCN-snapshot discipline) --------------------

@@ -92,6 +92,11 @@ class InvalidationListener:
     def on_object_invalidated(self, object_id: ObjectId, scn: SCN) -> None:
         """A flushed invalidation group touched ``object_id``."""
 
+    def on_group_flushed(self, group: "InvalidationGroup") -> None:
+        """The full block/slot detail of a flushed group -- for listeners
+        that need the touched row addresses (the CDC egress), not just
+        the object id."""
+
     def on_coarse_invalidation(self, tenant: TenantId, scn: SCN) -> None:
         """A coarse (tenant-wide) invalidation was routed (paper, III-E)."""
 
@@ -125,6 +130,10 @@ class InvalidationFlushComponent:
     ddl_processed = obs.view("_ddl_processed")
     #: Flush calls skipped by an installed chaos fault.
     chaos_stalls = obs.view("_chaos_stalls")
+    #: Routing ops diverted to the staging buffer (deferred strategy).
+    staged_ops = obs.view("_staged_ops_counter")
+    #: Journal anchors retired post-publication (deferred strategy).
+    staged_retired = obs.view("_staged_retired")
 
     def __init__(
         self,
@@ -150,6 +159,17 @@ class InvalidationFlushComponent:
         #: Maximum blocks per invalidation group (RAC message sizing).
         self.group_block_limit = group_block_limit
         self.worklink: Optional[Worklink] = None
+        # -- staged drain (DeferredDrainStrategy's shadow buffer) ---------
+        #: When True, ``_flush_one`` appends routing work to the staging
+        #: buffer instead of applying SMU masks, and defers journal
+        #: anchor retirement; listeners are still notified at stage time
+        #: (strictly pre-publication -- the result cache's contract).
+        self._stage_mode = False
+        #: Ordered routing ops awaiting :meth:`apply_staged`:
+        #: ("group", group) or ("coarse", tenant, scn).
+        self._staged_ops: list[tuple] = []
+        #: Journal anchors awaiting post-publication retirement.
+        self._pending_retire: deque = deque()
         # statistics
         self._obs = obs.current()
         self._nodes_flushed = obs.counter("dbim.flush.nodes_flushed")
@@ -160,6 +180,8 @@ class InvalidationFlushComponent:
         self._coarse_flushes = obs.counter("dbim.flush.coarse_flushes")
         self._ddl_processed = obs.counter("dbim.flush.ddl_processed")
         self._chaos_stalls = obs.counter("dbim.flush.chaos_stalls")
+        self._staged_ops_counter = obs.counter("dbim.flush.staged_ops")
+        self._staged_retired = obs.counter("dbim.flush.staged_retired")
         self._chaos = sites.declare("flush.worklink", owner=self)
         #: Observers of flushed invalidations (e.g. the query result
         #: cache).  Each listener is called *during* the flush -- i.e.
@@ -174,6 +196,7 @@ class InvalidationFlushComponent:
     def _notify_group(self, group: InvalidationGroup) -> None:
         for listener in self.invalidation_listeners:
             listener.on_object_invalidated(group.object_id, group.commit_scn)
+            listener.on_group_flushed(group)
 
     def _notify_coarse(self, tenant: TenantId, scn: SCN) -> None:
         for listener in self.invalidation_listeners:
@@ -255,13 +278,24 @@ class InvalidationFlushComponent:
         return flushed
 
     def _flush_one(self, node: CommitTableNode) -> None:
+        staged = self._stage_mode
         if node.coarse:
-            self.router.route_coarse(node.tenant, node.commit_scn)
+            if staged:
+                self._staged_ops.append(
+                    ("coarse", node.tenant, node.commit_scn)
+                )
+                self._staged_ops_counter.inc()
+            else:
+                self.router.route_coarse(node.tenant, node.commit_scn)
             self._coarse_flushes.inc()
             self._notify_coarse(node.tenant, node.commit_scn)
         elif node.anchor is not None:
             for group in self._gather_groups(node):
-                self.router.route(group)
+                if staged:
+                    self._staged_ops.append(("group", group))
+                    self._staged_ops_counter.inc()
+                else:
+                    self.router.route(group)
                 self._groups_created.inc()
                 self._notify_group(group)
         # the anchor's job is done: release it from the journal.  The flush
@@ -269,11 +303,57 @@ class InvalidationFlushComponent:
         # would livelock QuerySCN advancement if the latch holder died
         # (e.g. a recovery worker crashed mid-mine); the recovery variant
         # spins a bounded number of times and then breaks the dead
-        # holder's latch.
-        self.journal.remove_with_recovery(node.xid, self)
+        # holder's latch.  In staged mode retirement leaves the critical
+        # path entirely: anchors park until the coordinator's background
+        # drain after publication (keeping the journal floor is safe --
+        # it only makes restart tail replay conservatively longer).
+        if staged:
+            self._pending_retire.append(node.xid)
+        else:
+            self.journal.remove_with_recovery(node.xid, self)
         tracer = obs.tracer_of(self._obs)
         if tracer is not None:
             tracer.record_flushed(node.commit_scn)
+
+    # ------------------------------------------------------------------
+    # staged drain (DeferredDrainStrategy)
+    # ------------------------------------------------------------------
+    @property
+    def router_is_synchronous(self) -> bool:
+        """Staging needs synchronous SMU application inside the quiesce
+        window; an interconnect router (SIRA RAC) applies remotely and
+        asynchronously, so staged publication cannot certify it."""
+        return isinstance(self.router, LocalInvalidationRouter)
+
+    def set_staged(self, enabled: bool) -> None:
+        self._stage_mode = enabled
+
+    def apply_staged(self) -> int:
+        """Route every staged op, in original drain order; returns the
+        number applied.  Called inside the quiesce window, strictly
+        before the publication that makes their commitSCNs visible."""
+        ops, self._staged_ops = self._staged_ops, []
+        for op in ops:
+            if op[0] == "group":
+                self.router.route(op[1])
+            else:
+                self.router.route_coarse(op[1], op[2])
+        return len(ops)
+
+    @property
+    def has_pending_retire(self) -> bool:
+        return bool(self._pending_retire)
+
+    def retire_staged(self, batch: int) -> int:
+        """Retire up to ``batch`` deferred journal anchors."""
+        retired = 0
+        while self._pending_retire and retired < batch:
+            xid = self._pending_retire.popleft()
+            self.journal.remove_with_recovery(xid, self)
+            retired += 1
+        if retired:
+            self._staged_retired.inc(retired)
+        return retired
 
     def _gather_groups(self, node: CommitTableNode) -> list[InvalidationGroup]:
         """Organise a transaction's records into invalidation groups
@@ -411,3 +491,5 @@ class InvalidationFlushComponent:
     def clear(self) -> None:
         """Instance restart: all volatile state is lost."""
         self.worklink = None
+        self._staged_ops.clear()
+        self._pending_retire.clear()

@@ -36,6 +36,7 @@ from repro.dbim_adg.journal import IMADGJournal, InvalidationRecord
 from repro.imcs.store import InMemoryColumnStore
 from repro.redo.batch import (
     BULK_DATA_LOOKUP,
+    OP_CODE,
     SPECIAL_LOOKUP,
     CVChunk,
     decode_xid,
@@ -251,6 +252,10 @@ class MiningComponent:
         chunk_ops = batch.ops[indices]
         special_positions = np.nonzero(SPECIAL_LOOKUP[chunk_ops])[0]
         data_mask = BULK_DATA_LOOKUP[chunk_ops]
+        # TRUNCATE CVs are invalidated via their DDL marker, never
+        # journaled: the system xid they carry has no commit, so an
+        # anchor for it would leak (see _sniff_data).
+        data_mask &= chunk_ops != OP_CODE[CVOp.TRUNCATE]
         if data_mask.any():
             enabled = self.imcs.enabled_object_ids
             if not enabled:
@@ -425,6 +430,12 @@ class MiningComponent:
     ) -> bool:
         if not self.imcs.is_enabled(cv.object_id):
             return True  # not populated here: nothing to maintain
+        if cv.op is CVOp.TRUNCATE:
+            # The IMCU drop rides the TRUNCATE's DDL marker (processed at
+            # QuerySCN advancement); journaling the block-wipe CV here
+            # would anchor it under the system xid -- which never
+            # commits, so the anchor would pin the journal floor forever.
+            return True
         slots = self._changed_slots(cv)
         anchor = self.journal.get_or_create(cv.xid, cv.tenant, owner)
         if anchor is None:

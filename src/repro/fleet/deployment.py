@@ -213,6 +213,33 @@ class FleetDeployment:
         if object_ids:
             self.primary.note_standby_enablement(object_ids)
 
+    def start_cdc(
+        self,
+        member_name: str,
+        tables: Optional[list[str]] = None,
+        backfill: bool = True,
+    ):
+        """Attach a CDC egress + pump to one fleet member.
+
+        Any member can act as the streaming source -- a reader-farm
+        deployment typically dedicates one standby to CDC so subscriber
+        fan-out never competes with the query members' scan capacity.
+        Returns the member's :class:`~repro.cdc.egress.CDCEgress`.
+        """
+        from repro.cdc import CDCEgress, CDCPump
+
+        member = self.member(member_name)
+        egress = CDCEgress(member.standby, self.sched)
+        for name in tables or []:
+            egress.capture(name, backfill=backfill)
+        self.sched.add_actor(CDCPump(
+            egress,
+            node=member.standby.node,
+            name=f"{member_name}-cdc-pump",
+        ))
+        member.cdc = egress
+        return egress
+
     def start_query_services(
         self,
         n_workers: int = 4,

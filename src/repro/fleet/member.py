@@ -26,6 +26,8 @@ class StandbyMember:
         self.mounted = True
         #: Attached by ``fleet.start_query_services``.
         self.query_service = None
+        #: Attached by ``fleet.start_cdc``.
+        self.cdc = None
         self.active_sessions = 0
         self._active_gauge = obs.gauge(
             "fleet.member.active_sessions", member=name

@@ -76,11 +76,22 @@ class ResultCache(InvalidationListener):
     # ------------------------------------------------------------------
     def snapshot_epochs(
         self, object_ids: Iterable[ObjectId]
-    ) -> dict[ObjectId, tuple[int, int]]:
-        return {
+    ) -> dict[Optional[ObjectId], tuple[int, int]]:
+        """Epoch snapshot the in-flight store guard compares against.
+
+        A zero-object scan (e.g. an explicit empty partition list) has no
+        per-object epochs to pin, so it is keyed to the *global* epoch --
+        otherwise its ``{} == {}`` guard would pass vacuously and a store
+        racing a coarse invalidation (``clear()``) could never be
+        refused.  ``None`` is the global-epoch sentinel key.
+        """
+        epochs = {
             oid: (self._global_epoch, self._epochs.get(oid, 0))
             for oid in object_ids
         }
+        if not epochs:
+            return {None: (self._global_epoch, 0)}
+        return epochs
 
     # ------------------------------------------------------------------
     # lookup / store

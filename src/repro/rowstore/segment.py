@@ -78,6 +78,12 @@ class Segment:
         self._store = store
         self.rows_per_block = rows_per_block
         self._dbas: list[DBA] = []
+        #: SCN of the latest TRUNCATE replayed against this segment, or
+        #: None.  Parallel apply orders CVs per *block*, not per object,
+        #: so a TRUNCATE (reserved DBA) can race the object's data CVs
+        #: across workers; recording the wipe SCN lets both sides
+        #: commute (see :meth:`truncate` and ``Table._apply_block``).
+        self.truncate_scn: Optional[int] = None
 
     # -- geometry --------------------------------------------------------
     @property
@@ -124,11 +130,24 @@ class Segment:
 
     # -- maintenance -------------------------------------------------------
     def truncate(self, scn: int) -> None:
-        """Drop all rows; blocks are deallocated (segment reset)."""
-        for block in self.blocks():
-            block.wipe(scn)
-        self._dbas = []
-        self._cached_dba_set = set()
+        """Drop all rows as of ``scn``; wiped blocks are deallocated.
+
+        Blocks whose last change is *newer* than ``scn`` survive: on a
+        standby, a post-truncate insert (always a fresh DBA -- the block
+        store never reuses one) may have been applied by another worker
+        before this TRUNCATE CV, and wiping it would lose committed rows.
+        """
+        survivors: list[DBA] = []
+        for dba in self._dbas:
+            block = self._store.get(dba)
+            if block.last_change_scn > scn:
+                survivors.append(dba)
+            else:
+                block.wipe(scn)
+        self._dbas = survivors
+        self._cached_dba_set = set(survivors)
+        if self.truncate_scn is None or scn > self.truncate_scn:
+            self.truncate_scn = scn
 
     def row_count_current(self) -> int:
         """Number of slots whose current version is a live row (no CR)."""

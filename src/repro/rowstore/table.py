@@ -240,9 +240,16 @@ class Table:
     # applied block is left resident: the reconcile fetches a scan pays for
     # recently-changed rows are hits, not simulated physical reads.
     # ------------------------------------------------------------------
-    def _apply_block(self, object_id: ObjectId, dba: DBA):
+    def _apply_block(self, object_id: ObjectId, dba: DBA, scn: SCN):
         part = self.partition_by_object_id(object_id)
-        block = part.segment.ensure_block(dba)
+        segment = part.segment
+        truncate_scn = segment.truncate_scn
+        if truncate_scn is not None and scn <= truncate_scn:
+            # The CV predates a TRUNCATE another worker already replayed:
+            # the row is wiped regardless, and re-applying it here would
+            # resurrect a ghost visible at post-truncate snapshots.
+            return None
+        block = segment.ensure_block(dba)
         if self.buffer_cache is not None:
             self.buffer_cache.touch(dba)
         return block
@@ -256,7 +263,9 @@ class Table:
         xid: TransactionId,
         scn: SCN,
     ) -> None:
-        block = self._apply_block(object_id, dba)
+        block = self._apply_block(object_id, dba, scn)
+        if block is None:
+            return
         block.apply_at_slot(slot, values, xid, scn)
         rowid = RowId(dba, slot)
         for column, index in self.indexes.items():
@@ -272,7 +281,9 @@ class Table:
         xid: TransactionId,
         scn: SCN,
     ) -> None:
-        block = self._apply_block(object_id, dba)
+        block = self._apply_block(object_id, dba, scn)
+        if block is None:
+            return
         old = block.chain(slot).current if slot < block.used_slots else None
         block.apply_at_slot(slot, new_values, xid, scn)
         rowid = RowId(dba, slot)
@@ -292,7 +303,9 @@ class Table:
         xid: TransactionId,
         scn: SCN,
     ) -> None:
-        block = self._apply_block(object_id, dba)
+        block = self._apply_block(object_id, dba, scn)
+        if block is None:
+            return
         block.apply_at_slot(slot, None, xid, scn)
         for column, index in self.indexes.items():
             index.delete(old_values[self.schema.column_index(column)])
@@ -311,7 +324,9 @@ class Table:
         repairs index entries by diffing the stripped values against the
         restored current version.
         """
-        block = self._apply_block(object_id, dba)
+        block = self._apply_block(object_id, dba, scn)
+        if block is None:
+            return
         stripped = block.undo_write(slot, xid)
         if stripped is None:
             return
@@ -401,6 +416,8 @@ class Table:
         segment = self.partition(name).segment
         if self.indexes:
             for block in segment.blocks():
+                if block.last_change_scn > scn:
+                    continue  # post-truncate block: survives the wipe
                 for __, chain in block.chains():
                     current = chain.current
                     if current is not None and not current.is_delete:

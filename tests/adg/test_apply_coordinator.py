@@ -4,11 +4,13 @@ import pytest
 
 from repro.adg import (
     ApplyDistributor,
+    ListenerFanoutError,
     LogMerger,
     QuerySCNPublisher,
     RecoveryCoordinator,
     RecoveryWorker,
 )
+from repro.chaos import sites
 from repro.common import InvalidStateError, QuiesceLock, TransactionId
 from repro.redo import (
     ChangeVector,
@@ -141,6 +143,37 @@ class TestQuerySCNPublisher:
         publisher.publish(10)
         assert seen == [10]
 
+    def test_poisoned_listener_cannot_wedge_fanout(self):
+        """Regression: one raising listener used to abort the fan-out
+        after value/history had already advanced, leaving every listener
+        registered after it (a non-master RAC coordinator, a fleet lag
+        sampler) permanently behind.  All listeners must be notified and
+        the failures aggregated."""
+        publisher = QuerySCNPublisher()
+        seen = []
+        poisoned = {"remaining": 1}
+
+        def poison(scn):
+            if poisoned["remaining"]:
+                poisoned["remaining"] -= 1
+                raise RuntimeError("subscriber bug")
+
+        publisher.subscribe(poison)
+        publisher.subscribe(seen.append)  # the RAC-propagation stand-in
+        with pytest.raises(ListenerFanoutError) as excinfo:
+            publisher.publish(10, at_time=1.0)
+        # publication completed: value, history and *every* listener
+        assert publisher.value == 10
+        assert publisher.history == [(1.0, 10)]
+        assert seen == [10]
+        assert excinfo.value.scn == 10
+        assert len(excinfo.value.errors) == 1
+        assert isinstance(excinfo.value.errors[0], RuntimeError)
+        # the publisher is not wedged: the next publication is clean
+        publisher.publish(25, at_time=2.0)
+        assert seen == [10, 25]
+        assert publisher.value == 25
+
 
 def build_pipeline(n_workers=2, worker_speeds=None):
     receiver = RedoReceiver()
@@ -252,6 +285,57 @@ class TestCoordinator:
         assert coord.advancements == 0
         assert coord.mean_publish_latency == 0.0
         assert coord.mean_adjusted_publish_latency == 0.0
+
+    def test_chaos_delay_defers_publication_by_its_duration(self):
+        """Regression: a DELAY decision at ``adg.queryscn_publish`` used
+        to be handled exactly like STALL -- counted as a stall and
+        retried on the next (microsecond) step, so the injected delay
+        duration was never consumed.  The delay must ride on the
+        rescheduling cost and be counted separately."""
+        registry = sites.SiteRegistry()
+        with sites.recording(registry):
+            receiver, merger, query_scn, coord, sched, applier = (
+                build_pipeline()
+            )
+
+        class OneShotDelay:
+            fired_at = None
+
+            def decide(self, site, event, context):
+                if self.fired_at is None:
+                    self.fired_at = sched.now
+                    return sites.Decision(sites.Action.DELAY, delay=0.1)
+                return sites.PROCEED
+
+        injector = OneShotDelay()
+        registry.install("adg.queryscn_publish", injector)
+        receiver.deliver([rec(10, dba=1)])
+        sched.run_until(0.5)
+        assert query_scn.value == 10
+        assert injector.fired_at is not None
+        # counted as a delay, not folded into the stall counter
+        assert coord.publish_delays == 1
+        assert coord.publish_stalls == 0
+        # the injected duration was actually consumed before the retry
+        publish_time = query_scn.history[0][0]
+        assert publish_time >= injector.fired_at + 0.1
+        # deferral is blocked wall time: excluded from adjusted latency
+        assert coord.publish_stall_time_total >= 0.1
+        assert (
+            coord.mean_adjusted_publish_latency < coord.mean_publish_latency
+        )
+
+    def test_reset_advance_clears_check_clock(self):
+        """Regression: ``reset_advance`` kept the pre-restart
+        ``_last_check`` timestamp, deferring the first post-restart
+        consistency-point check by up to a full stale interval."""
+        receiver, merger, query_scn, coord, sched, applier = build_pipeline()
+        receiver.deliver([rec(10, dba=1)])
+        sched.run_until(0.5)
+        assert coord._last_check >= 0.0
+        coord.reset_advance()
+        assert coord._last_check < 0.0  # first check fires immediately
+        assert coord._advancing_to is None
 
     def test_advance_protocol_hooks_called_in_order(self):
         calls = []

@@ -49,6 +49,49 @@ class TestDDL:
         rows = deployment.standby.query("T").rows
         assert sorted(r[0] for r in rows) == list(range(5000, 5007))
 
+    def test_truncate_racing_unshipped_dml_cannot_resurrect_rows(self):
+        """Parallel apply orders CVs per *block*, not per object: a
+        TRUNCATE (reserved DBA) in the same shipment as the rows it wipes
+        can reach a different worker and apply first, after which the
+        late data CVs would resurrect wiped rows at post-truncate
+        snapshots.  The segment's recorded truncate SCN must make the
+        two orders commute."""
+        from repro.common.config import ApplyConfig
+
+        # 3 workers routes the reserved truncate DBA away from the
+        # inserts' blocks, so the wipe applies before the rows
+        deployment = Deployment.build(
+            config=small_config(apply=ApplyConfig(n_workers=3))
+        )
+        deployment.create_table(simple_table_def())
+        deployment.enable_inmemory("T", service=InMemoryService.BOTH)
+        txn = deployment.primary.begin()
+        for i in range(3):
+            deployment.primary.insert(txn, "T", (i, 0.0, "v0"))
+        deployment.primary.commit(txn)
+        # truncate before any of it ships: inserts + wipe travel together
+        deployment.primary.truncate_table("T")
+        deployment.catch_up()
+        assert deployment.standby.query("T").rows == []
+        snap = deployment.standby.query_scn.value
+        table = deployment.primary.catalog.table("T")
+        assert list(table.full_scan(snap, deployment.primary.txn_table)) == []
+
+    def test_truncate_leaves_no_journal_anchor(self, loaded_deployment):
+        """The TRUNCATE block-wipe CV carries the system xid, which never
+        commits -- journaling it would leave an anchor that pins the
+        journal floor (and the instant-restart replay floor) forever."""
+        deployment, rowids = loaded_deployment
+        txn = deployment.primary.begin()
+        deployment.primary.update(txn, "T", rowids[0], {"n1": -1.0})
+        deployment.primary.commit(txn)
+        deployment.primary.truncate_table("T")
+        load(deployment, n=7, start=5000)
+        deployment.catch_up()
+        journal = deployment.standby.journal
+        assert journal.anchor_count == 0
+        assert journal.record_count == 0
+
     def test_drop_table_replicates(self, loaded_deployment):
         deployment, __ = loaded_deployment
         deployment.primary.drop_table("T")

@@ -77,6 +77,25 @@ class TestEpochGuard:
         cache.on_coarse_invalidation(tenant=0, scn=60)
         assert not cache.put(key(), [900], result(), epochs)
 
+    def test_zero_object_scan_epochs_pin_global_epoch(self):
+        """Regression: a zero-object scan (explicit empty partition
+        list) used to snapshot ``{}``, so the ``{} == {}`` guard in
+        ``put`` passed vacuously.  Empty-dependency entries must be
+        keyed to the global epoch instead."""
+        cache = ResultCache()
+        epochs = cache.snapshot_epochs([])
+        assert epochs  # not vacuously empty
+        assert cache.put(key(), [], result(), epochs)
+        assert cache.lookup(key()) is not None
+
+    def test_zero_object_store_refused_after_coarse_invalidation(self):
+        cache = ResultCache()
+        epochs = cache.snapshot_epochs([])
+        cache.on_coarse_invalidation(tenant=0, scn=60)  # clear mid-flight
+        assert not cache.put(key(), [], result(), epochs)
+        assert cache.stale_stores == 1
+        assert cache.lookup(key()) is None
+
 
 class TestInvalidation:
     def test_object_invalidation_evicts_dependents_only(self):

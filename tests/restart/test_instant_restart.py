@@ -108,6 +108,42 @@ class TestInstantRestart:
         rows, __ = standby_rows(deployment)
         assert len(rows) == 80
 
+    def test_first_publication_after_restart_not_interval_delayed(self):
+        """Regression: ``reset_advance`` used to keep the pre-restart
+        ``_last_check`` timestamp, so when the bounce landed right after
+        an idle interval check the first post-restart consistency-point
+        check -- and with it the first publication -- was deferred by a
+        full stale interval."""
+        deployment, store, rowids = build_armed_deployment(n=100)
+        deployment.run(1.0)
+        standby = deployment.standby
+        coord = standby.coordinator
+        # hold the quiesce lock so the update applies but cannot publish:
+        # the restart then has a ready-to-publish consistency point
+        holder = object()
+        assert coord.quiesce_lock.try_acquire_shared(holder)
+        txn = deployment.primary.begin()
+        deployment.primary.update(txn, "T", rowids[0], {"n1": -5.0})
+        target = deployment.primary.commit(txn)
+        assert deployment.sched.run_until_condition(
+            lambda: coord.consistency_point() >= target, max_time=10.0
+        )
+        assert standby.query_scn.value < target
+        coord.quiesce_lock.release_shared(holder)
+        # worst case: an interval check ran just before the bounce, and
+        # the interval is wide enough to make a stale clock visible
+        coord.interval = 0.5
+        coord._last_check = deployment.sched.now
+        report = deployment.restart_standby()
+        assert report.mode == "instant"
+        assert coord._last_check < 0.0  # the fix: clock reset with state
+        t0 = deployment.sched.now
+        assert deployment.sched.run_until_condition(
+            lambda: standby.query_scn.value >= target, max_time=10.0
+        )
+        # pre-fix the first check only fired a full interval later
+        assert deployment.sched.now - t0 < 0.5
+
     def test_writer_recaptures_after_restart(self):
         """The incarnation that rises from an instant restart checkpoints
         itself again, so the *next* bounce is warm too."""
